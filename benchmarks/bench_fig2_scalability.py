@@ -1,0 +1,60 @@
+"""F2 — "Broadcasting is more efficient, but RDD is more scalable".
+
+Three series reproduce the paper's scalability discussion:
+
+* size sweep — measured indexing time of both execution models on growing
+  synthetic web graphs (broadcasting wins by a constant factor);
+* machine sweep — simulated strong scaling of the same job from 1 to 16
+  machines;
+* paper scale — per-edge costs extrapolated to the paper's real dataset
+  sizes on a cluster with limited executor memory: the broadcasting model
+  becomes infeasible once the graph no longer fits in one executor, while the
+  RDD model keeps working (the reason the paper needs both).
+"""
+
+from repro.bench import experiments, reporting
+
+
+def test_fig2_scalability(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.scalability_experiment,
+        kwargs={"graph_sizes": [500, 1_000, 2_000]},
+        rounds=1, iterations=1,
+    )
+    rendered = (
+        reporting.format_table(
+            result["size_sweep"],
+            title="Figure 2a — measured indexing time vs graph size (broadcast vs RDD)",
+        )
+        + "\n"
+        + reporting.format_table(
+            result["machine_sweep"],
+            title="Figure 2b — simulated cluster wall-clock vs number of machines",
+        )
+        + "\n"
+        + reporting.format_table(
+            result["paper_scale"],
+            title=(
+                "Figure 2c — extrapolation to the paper's dataset sizes "
+                f"({result['paper_scale_memory_gb']} GB executors)"
+            ),
+        )
+    )
+    reporting.save_results("fig2_scalability", result, rendered, results_dir)
+    print("\n" + rendered)
+
+    # Broadcasting is more efficient: it wins on every measured size.
+    for row in result["size_sweep"]:
+        assert row["broadcast_seconds"] < row["rdd_seconds"]
+
+    # Strong scaling: more machines -> less simulated wall-clock for both.
+    machine_rows = result["machine_sweep"]
+    assert machine_rows[-1]["broadcast_cluster_seconds"] <= machine_rows[0]["broadcast_cluster_seconds"]
+    assert machine_rows[-1]["rdd_cluster_seconds"] <= machine_rows[0]["rdd_cluster_seconds"]
+
+    # RDD is more scalable: at paper scale the broadcasting model eventually
+    # stops fitting in executor memory while the RDD model stays feasible.
+    paper_rows = {row["dataset"]: row for row in result["paper_scale"]}
+    assert paper_rows["wiki-vote"]["broadcast_feasible"]
+    assert not paper_rows["clue-web"]["broadcast_feasible"]
+    assert all(row["rdd_feasible"] for row in result["paper_scale"])

@@ -1,0 +1,27 @@
+"""T2 — the paper's default parameter table.
+
+Regenerates the "Parameter / Value / Meaning" table and asserts the library's
+defaults are exactly the paper's (c=0.6, T=10, L=3, R=100, R'=10,000).
+"""
+
+from repro.bench import experiments, reporting
+from repro.config import SimRankParams
+
+
+def test_table2_parameters(benchmark, results_dir):
+    result = benchmark.pedantic(experiments.parameter_table, rounds=1, iterations=1)
+    rendered = reporting.format_table(
+        result["rows"], columns=["parameter", "value", "meaning"],
+        title="Table 2 — default parameters",
+    )
+    reporting.save_results("table2_parameters", result, rendered, results_dir)
+    print("\n" + rendered)
+
+    values = {row["parameter"]: row["value"] for row in result["rows"]}
+    assert values == {"c": 0.6, "T": 10, "L": 3, "R": 100, "R'": 10_000}
+    defaults = SimRankParams.paper_defaults()
+    assert defaults.c == values["c"]
+    assert defaults.walk_steps == values["T"]
+    assert defaults.jacobi_iterations == values["L"]
+    assert defaults.index_walkers == values["R"]
+    assert defaults.query_walkers == values["R'"]

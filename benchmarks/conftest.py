@@ -1,0 +1,22 @@
+"""Benchmark-suite conftest: shared fixtures and result persistence."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where every benchmark persists its table/figure data."""
+    from repro.bench import reporting
+
+    reporting.RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return reporting.RESULTS_DIR

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Link prediction / churn-style example.
+
+The paper lists recommender systems and churn prediction among SimRank's
+applications; both reduce to "score how related two nodes are".  This example
+holds out a fraction of a synthetic social graph's edges, scores candidate
+pairs with CloudWalker SimRank and with co-citation, and reports how well
+each ranks the held-out (true) edges above random non-edges (AUC-style hit
+rate).
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+import numpy as np
+
+from repro import CloudWalker, SimRankParams
+from repro.baselines.cocitation import cocitation_similarity
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+def split_edges(graph: DiGraph, holdout_fraction: float, seed: int):
+    """Remove a random fraction of edges; return (training graph, held-out edges)."""
+    rng = np.random.default_rng(seed)
+    edges = graph.edge_array()
+    mask = rng.random(len(edges)) < holdout_fraction
+    held_out = [tuple(edge) for edge in edges[mask].tolist()]
+    training = DiGraph(graph.n_nodes, edges[~mask], name=f"{graph.name}-train")
+    return training, held_out
+
+
+def ranking_score(positive: list, negative: list) -> float:
+    """Fraction of (positive, negative) score pairs ranked correctly (ties = 0.5)."""
+    wins = 0.0
+    for pos in positive:
+        for neg in negative:
+            if pos > neg:
+                wins += 1.0
+            elif pos == neg:
+                wins += 0.5
+    return wins / (len(positive) * len(negative))
+
+
+def main() -> None:
+    graph = generators.copying_model_graph(n=400, out_degree=8, copy_prob=0.6, seed=11)
+    training, held_out = split_edges(graph, holdout_fraction=0.1, seed=7)
+    print(f"full graph: {graph}")
+    print(f"training graph: {training} (+{len(held_out)} held-out edges)")
+
+    params = SimRankParams.paper_defaults().with_(query_walkers=1_500)
+    walker = CloudWalker(training, params=params)
+    walker.build_index()
+
+    rng = np.random.default_rng(3)
+    sample_positive = [held_out[i] for i in rng.choice(len(held_out), size=min(40, len(held_out)), replace=False)]
+    negatives = []
+    while len(negatives) < 40:
+        u, v = rng.integers(0, training.n_nodes, size=2)
+        if u != v and not graph.has_edge(int(u), int(v)):
+            negatives.append((int(u), int(v)))
+
+    simrank_positive = [walker.single_pair(u, v) for u, v in sample_positive]
+    simrank_negative = [walker.single_pair(u, v) for u, v in negatives]
+    cocite_positive = [cocitation_similarity(training, u, v) for u, v in sample_positive]
+    cocite_negative = [cocitation_similarity(training, u, v) for u, v in negatives]
+
+    print("\npairwise ranking score (1.0 = every true edge ranked above every non-edge):")
+    print(f"  SimRank (CloudWalker): {ranking_score(simrank_positive, simrank_negative):.3f}")
+    print(f"  Co-citation:           {ranking_score(cocite_positive, cocite_negative):.3f}")
+
+    best = max(zip(sample_positive, simrank_positive), key=lambda pair: pair[1])
+    print(f"\nhighest-scoring held-out edge: {best[0]} with SimRank {best[1]:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Recommender-system example: "items cited by similar users are similar".
+
+SimRank's recursive definition shines when two items are never consumed by
+the *same* user but are consumed by *similar* users.  This example builds a
+two-level citation graph (groups -> users -> items), indexes it with
+CloudWalker and compares the recommendations against plain co-citation
+counting, reporting precision of same-category retrieval.
+
+Run with::
+
+    python examples/recommendation.py
+"""
+
+import numpy as np
+
+from repro import CloudWalker, SimRankParams
+from repro.baselines.cocitation import cocitation_matrix
+from repro.graph import generators
+
+
+def precision_at_k(scores: np.ndarray, item: int, categories: np.ndarray, k: int) -> float:
+    """Fraction of the top-k retrieved items sharing ``item``'s category."""
+    n_items = len(categories)
+    candidate_scores = scores[:n_items].copy()
+    candidate_scores[item] = -np.inf
+    top = np.argsort(-candidate_scores, kind="stable")[:k]
+    return float((categories[top] == categories[item]).mean())
+
+
+def main() -> None:
+    graph, categories = generators.hierarchical_citation_graph(
+        n_categories=6, items_per_category=25, users_per_category=40, seed=3,
+    )
+    n_items = len(categories)
+    print(f"catalogue: {n_items} items in {categories.max() + 1} categories; {graph}")
+
+    params = SimRankParams.paper_defaults().with_(query_walkers=2_000)
+    walker = CloudWalker(graph, params=params)
+    walker.build_index()
+
+    cocitation = cocitation_matrix(graph)
+
+    # Recommend for a handful of items that actually have citations (items
+    # with no in-links have SimRank 0 to everything, by definition).
+    k = 8
+    rng = np.random.default_rng(1)
+    cited_items = [item for item in range(n_items) if graph.in_degree(item) > 0]
+    sample_items = rng.choice(cited_items, size=10, replace=False)
+    simrank_precision = []
+    cocitation_precision = []
+    for item in sample_items:
+        scores = walker.single_source(int(item))
+        simrank_precision.append(precision_at_k(scores, int(item), categories, k))
+        cocitation_precision.append(
+            precision_at_k(cocitation[int(item)], int(item), categories, k)
+        )
+
+    print(f"\nmean precision@{k} over {len(sample_items)} query items:")
+    print(f"  SimRank (CloudWalker MCSS): {np.mean(simrank_precision):.3f}")
+    print(f"  Co-citation:                {np.mean(cocitation_precision):.3f}")
+
+    item = int(sample_items[0])
+    scores = walker.single_source(item)[:n_items]
+    scores[item] = -np.inf
+    print(f"\nexample: items recommended for item {item} (category {categories[item]}):")
+    for rank, node in enumerate(np.argsort(-scores)[:5], start=1):
+        print(
+            f"  {rank}. item {int(node):4d}  score {scores[node]:.4f}  "
+            f"(category {categories[node]})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""CloudWalker: parallel SimRank computation at scale.
+
+This package reproduces the system described in *"Walking in the Cloud:
+Parallel SimRank at Scale"* (PASCO / CloudWalker, SoCC 2015 / PVLDB 2016).
+
+The public API is intentionally small; the most common entry points are:
+
+``repro.graph``
+    Directed-graph substrate: CSR graphs, generators, dataset stand-ins.
+``repro.engine``
+    A Spark-like local cluster-computing engine (RDDs, broadcast variables,
+    DAG scheduler) used by the distributed execution models.
+``repro.core``
+    The CloudWalker algorithm itself: offline diagonal indexing
+    (Monte-Carlo + Jacobi) and online MCSP / MCSS / MCAP queries.
+``repro.baselines``
+    The comparison systems from the paper: naive SimRank, FMT and LIN,
+    plus co-citation similarity.
+
+Quick start::
+
+    from repro import CloudWalker, SimRankParams
+    from repro.graph import generators
+
+    graph = generators.power_law_graph(n=500, avg_degree=8, seed=7)
+    cw = CloudWalker(graph, params=SimRankParams.paper_defaults())
+    cw.build_index()
+    print(cw.single_pair(3, 17))
+    print(cw.single_source(3)[:10])
+"""
+
+from repro.config import ClusterSpec, SimRankParams
+from repro.errors import (
+    CloudWalkerError,
+    ConfigurationError,
+    GraphFormatError,
+    IndexNotBuiltError,
+    NodeNotFoundError,
+)
+from repro.graph.digraph import DiGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudWalker",
+    "ClusterSpec",
+    "CloudWalkerError",
+    "ConfigurationError",
+    "DiGraph",
+    "GraphFormatError",
+    "IndexNotBuiltError",
+    "NodeNotFoundError",
+    "SimRankParams",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    # CloudWalker is imported lazily so that light-weight uses of the graph
+    # or engine subpackages do not pull in the whole algorithm stack.
+    if name == "CloudWalker":
+        from repro.core.cloudwalker import CloudWalker
+
+        return CloudWalker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,149 @@
+"""Parameter ablations for CloudWalker's design choices.
+
+DESIGN.md lists the design choices worth ablating: the number of index
+walkers R, the query walker budget R', the walk truncation T, the number of
+Jacobi iterations L, and the solver used for the linear system.  Each sweep
+here builds the relevant part of the pipeline across a range of values and
+reports accuracy (against the exact pipeline) and cost, as tidy row dicts
+ready for :func:`repro.bench.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import accuracy
+from repro.config import SimRankParams
+from repro.core.diagonal import DiagonalEstimator, exact_diagonal
+from repro.core.exact import linearized_simrank_matrix, simrank_accuracy
+from repro.core.queries import QueryEngine
+from repro.graph.digraph import DiGraph
+
+
+def _reference(graph: DiGraph, params: SimRankParams) -> np.ndarray:
+    return linearized_simrank_matrix(graph, exact_diagonal(graph, params), params)
+
+
+def index_walker_sweep(
+    graph: DiGraph,
+    walker_counts: Sequence[int],
+    params: Optional[SimRankParams] = None,
+) -> List[Dict[str, Any]]:
+    """Accuracy/cost of the offline index as R varies (paper default R=100)."""
+    params = params or SimRankParams.paper_defaults()
+    reference_diag = exact_diagonal(graph, params)
+    reference_matrix = _reference(graph, params)
+    rows = []
+    for walkers in walker_counts:
+        run_params = params.with_(index_walkers=int(walkers))
+        start = time.perf_counter()
+        index = DiagonalEstimator(graph, params=run_params).build()
+        elapsed = time.perf_counter() - start
+        matrix = linearized_simrank_matrix(graph, index.diagonal, run_params)
+        error = simrank_accuracy(reference_matrix, matrix)
+        rows.append(
+            {
+                "index_walkers": int(walkers),
+                "build_seconds": elapsed,
+                "diag_mean_abs_error": float(
+                    np.abs(index.diagonal - reference_diag).mean()
+                ),
+                "simrank_mean_abs_error": error["mean_abs_error"],
+            }
+        )
+    return rows
+
+
+def walk_steps_sweep(
+    graph: DiGraph,
+    step_counts: Sequence[int],
+    params: Optional[SimRankParams] = None,
+    reference_steps: int = 15,
+) -> List[Dict[str, Any]]:
+    """Truncation ablation: accuracy/cost as the walk length T varies.
+
+    The reference is the exact pipeline with a longer truncation
+    (``reference_steps``), so the sweep isolates the truncation error the
+    paper's T=10 default accepts.
+    """
+    params = params or SimRankParams.paper_defaults()
+    reference_params = params.with_(walk_steps=int(reference_steps))
+    reference_matrix = _reference(graph, reference_params)
+    rows = []
+    for steps in step_counts:
+        run_params = params.with_(walk_steps=int(steps))
+        start = time.perf_counter()
+        index = DiagonalEstimator(graph, params=run_params, exact=True).build()
+        elapsed = time.perf_counter() - start
+        matrix = linearized_simrank_matrix(graph, index.diagonal, run_params)
+        error = simrank_accuracy(reference_matrix, matrix)
+        rows.append(
+            {
+                "walk_steps": int(steps),
+                "build_seconds": elapsed,
+                "simrank_mean_abs_error": error["mean_abs_error"],
+                "simrank_max_abs_error": error["max_abs_error"],
+            }
+        )
+    return rows
+
+
+def query_walker_sweep(
+    graph: DiGraph,
+    walker_counts: Sequence[int],
+    params: Optional[SimRankParams] = None,
+    n_pairs: int = 30,
+    seed: int = 3,
+) -> List[Dict[str, Any]]:
+    """Online-query ablation: MCSP accuracy/latency as R' varies."""
+    params = params or SimRankParams.paper_defaults()
+    index = DiagonalEstimator(graph, params=params, exact=True).build()
+    engine = QueryEngine(graph, index, params)
+    reference_matrix = linearized_simrank_matrix(graph, index.diagonal, params)
+    pairs = accuracy.sample_pairs(graph, n_pairs, seed=seed)
+    rows = []
+    for walkers in walker_counts:
+        start = time.perf_counter()
+        report = accuracy.evaluate_pairs(
+            lambda i, j: engine.single_pair(i, j, walkers=int(walkers)),
+            reference_matrix, pairs, estimator_name=f"MCSP(R'={walkers})",
+        )
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "query_walkers": int(walkers),
+                "mean_abs_error": report.mean_abs_error,
+                "max_abs_error": report.max_abs_error,
+                "mean_query_seconds": elapsed / max(len(pairs), 1),
+            }
+        )
+    return rows
+
+
+def solver_sweep(
+    graph: DiGraph,
+    params: Optional[SimRankParams] = None,
+    solvers: Sequence[str] = ("jacobi", "gauss-seidel", "exact"),
+) -> List[Dict[str, Any]]:
+    """Solver ablation on the exact linear system (isolates solver error)."""
+    params = params or SimRankParams.paper_defaults()
+    reference_diag = exact_diagonal(graph, params)
+    rows = []
+    for solver in solvers:
+        start = time.perf_counter()
+        index = DiagonalEstimator(graph, params=params, exact=True, solver=solver).build()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "solver": solver,
+                "build_seconds": elapsed,
+                "diag_mean_abs_error": float(
+                    np.abs(index.diagonal - reference_diag).mean()
+                ),
+                "residual": index.build_info.jacobi_residual,
+            }
+        )
+    return rows

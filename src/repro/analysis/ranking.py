@@ -1,0 +1,115 @@
+"""Ranking-quality metrics.
+
+SimRank is mostly consumed through rankings ("which nodes are most similar
+to v?"), so besides absolute score error the evaluation needs ranking
+metrics.  These are used by the effectiveness benchmark (F3), the
+recommendation example and the ablation module.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def top_k_indices(scores: np.ndarray, k: int, exclude: int = -1) -> np.ndarray:
+    """Indices of the ``k`` largest scores (optionally excluding one index)."""
+    scores = np.asarray(scores, dtype=np.float64)
+    working = scores.copy()
+    if 0 <= exclude < len(working):
+        working[exclude] = -np.inf
+    k = min(k, len(working))
+    if k <= 0:
+        return np.array([], dtype=np.int64)
+    candidates = np.argpartition(-working, kth=k - 1)[:k]
+    return candidates[np.argsort(-working[candidates], kind="stable")]
+
+
+def precision_at_k(scores: np.ndarray, relevant: Sequence[int], k: int,
+                   exclude: int = -1) -> float:
+    """Fraction of the top-k results that are relevant."""
+    if k <= 0:
+        return 0.0
+    relevant_set = set(int(r) for r in relevant)
+    top = top_k_indices(scores, k, exclude=exclude)
+    if len(top) == 0:
+        return 0.0
+    return sum(1 for node in top if int(node) in relevant_set) / len(top)
+
+
+def average_precision(scores: np.ndarray, relevant: Sequence[int],
+                      exclude: int = -1) -> float:
+    """Average precision of the full ranking induced by ``scores``."""
+    relevant_set = set(int(r) for r in relevant)
+    if not relevant_set:
+        return 0.0
+    ranking = top_k_indices(scores, len(scores), exclude=exclude)
+    hits = 0
+    precisions = []
+    for position, node in enumerate(ranking, start=1):
+        if int(node) in relevant_set:
+            hits += 1
+            precisions.append(hits / position)
+    if not precisions:
+        return 0.0
+    return float(np.mean(precisions))
+
+
+def ndcg_at_k(scores: np.ndarray, relevance: np.ndarray, k: int,
+              exclude: int = -1) -> float:
+    """Normalised discounted cumulative gain at ``k`` with graded relevance."""
+    relevance = np.asarray(relevance, dtype=np.float64)
+    if k <= 0 or relevance.sum() == 0:
+        return 0.0
+    top = top_k_indices(scores, k, exclude=exclude)
+    discounts = 1.0 / np.log2(np.arange(2, len(top) + 2))
+    dcg = float((relevance[top] * discounts).sum())
+    ideal_order = np.argsort(-relevance, kind="stable")
+    if 0 <= exclude < len(relevance):
+        ideal_order = ideal_order[ideal_order != exclude]
+    ideal_top = ideal_order[:k]
+    ideal_discounts = 1.0 / np.log2(np.arange(2, len(ideal_top) + 2))
+    idcg = float((relevance[ideal_top] * ideal_discounts).sum())
+    return dcg / idcg if idcg > 0 else 0.0
+
+
+def kendall_tau(first: Sequence[float], second: Sequence[float]) -> float:
+    """Kendall rank-correlation between two score vectors (ties -> 0 credit).
+
+    Returns a value in [-1, 1]; 1 means identical orderings.  The O(n²)
+    implementation is fine for the evaluation sizes used here.
+    """
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError("score vectors must have the same length")
+    n = len(first)
+    if n < 2:
+        return 1.0
+    concordant = discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            a = np.sign(first[i] - first[j])
+            b = np.sign(second[i] - second[j])
+            if a == 0 or b == 0:
+                continue
+            if a == b:
+                concordant += 1
+            else:
+                discordant += 1
+    total = n * (n - 1) // 2
+    return (concordant - discordant) / total if total else 1.0
+
+
+def ranking_report(scores_by_method: Dict[str, np.ndarray],
+                   relevant: Sequence[int], k: int,
+                   exclude: int = -1) -> Dict[str, Dict[str, float]]:
+    """Precision@k and average precision for several methods at once."""
+    return {
+        name: {
+            "precision_at_k": precision_at_k(scores, relevant, k, exclude=exclude),
+            "average_precision": average_precision(scores, relevant, exclude=exclude),
+        }
+        for name, scores in scores_by_method.items()
+    }

@@ -1,0 +1,128 @@
+"""Post-build validation of a diagonal index.
+
+A Monte-Carlo index can silently degrade (too few walkers, wrong seed reuse,
+a graph/index mismatch that slipped past the node-count check).  These
+checks are cheap relative to the build and give operators a yes/no answer
+plus diagnostics before the index is served:
+
+* structural checks — bounds of the diagonal values, residual of the linear
+  system as recorded at build time;
+* behavioural spot-checks — a sample of Monte-Carlo single-pair queries is
+  compared against the exact linearized scores computed with the *same*
+  diagonal, isolating query-time Monte-Carlo error from index error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.analysis import accuracy
+from repro.config import SimRankParams
+from repro.core.index import DiagonalIndex
+from repro.core.queries import QueryEngine
+from repro.graph.digraph import DiGraph
+
+
+@dataclass
+class ValidationIssue:
+    """One problem found during validation."""
+
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_index`."""
+
+    ok: bool
+    issues: List[ValidationIssue] = field(default_factory=list)
+    checks: Dict[str, float] = field(default_factory=dict)
+
+    def errors(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "error"]
+
+    def warnings(self) -> List[ValidationIssue]:
+        return [issue for issue in self.issues if issue.severity == "warning"]
+
+
+def validate_index(
+    graph: DiGraph,
+    index: DiagonalIndex,
+    params: Optional[SimRankParams] = None,
+    spot_check_pairs: int = 20,
+    spot_check_tolerance: float = 0.05,
+    residual_tolerance: float = 0.1,
+    seed: int = 13,
+) -> ValidationReport:
+    """Validate ``index`` against ``graph``; returns a structured report."""
+    params = params or index.params
+    issues: List[ValidationIssue] = []
+    checks: Dict[str, float] = {}
+
+    # --- structural checks -------------------------------------------- #
+    if graph.n_nodes != index.n_nodes:
+        issues.append(ValidationIssue(
+            "error",
+            f"index was built for {index.n_nodes} nodes, graph has {graph.n_nodes}",
+        ))
+        return ValidationReport(ok=False, issues=issues, checks=checks)
+
+    diagonal = index.diagonal
+    checks["diag_min"] = float(diagonal.min()) if len(diagonal) else float("nan")
+    checks["diag_max"] = float(diagonal.max()) if len(diagonal) else float("nan")
+    if len(diagonal) and (diagonal <= 0.0).any():
+        issues.append(ValidationIssue(
+            "error", f"{int((diagonal <= 0).sum())} diagonal entries are <= 0"
+        ))
+    if len(diagonal) and (diagonal > 1.0 + 1e-6).any():
+        issues.append(ValidationIssue(
+            "warning",
+            f"{int((diagonal > 1.0 + 1e-6).sum())} diagonal entries exceed 1 "
+            "(possible under-sampling of the linear system)",
+        ))
+    # Nodes with no in-links must have a correction of exactly 1.
+    zero_in = np.flatnonzero(graph.in_degrees() == 0)
+    if len(zero_in):
+        deviation = float(np.abs(diagonal[zero_in] - 1.0).max())
+        checks["zero_in_degree_deviation"] = deviation
+        if deviation > 1e-6:
+            issues.append(ValidationIssue(
+                "warning",
+                f"nodes with no in-links should have correction 1.0; max deviation {deviation:.4f}",
+            ))
+
+    residual = index.build_info.jacobi_residual
+    checks["build_residual"] = residual
+    if np.isfinite(residual) and residual > residual_tolerance:
+        issues.append(ValidationIssue(
+            "warning",
+            f"linear-system residual {residual:.3f} exceeds {residual_tolerance} "
+            "(consider more Jacobi iterations)",
+        ))
+
+    # --- behavioural spot-check ---------------------------------------- #
+    if graph.n_nodes >= 2 and spot_check_pairs > 0:
+        engine = QueryEngine(graph, index, params)
+        pairs = accuracy.sample_pairs(graph, spot_check_pairs, seed=seed)
+        deviations = [
+            abs(engine.single_pair(i, j) - engine.exact_single_pair(i, j))
+            for i, j in pairs
+        ]
+        checks["spot_check_mean_abs_error"] = float(np.mean(deviations))
+        checks["spot_check_max_abs_error"] = float(np.max(deviations))
+        if checks["spot_check_mean_abs_error"] > spot_check_tolerance:
+            issues.append(ValidationIssue(
+                "warning",
+                f"Monte-Carlo query error {checks['spot_check_mean_abs_error']:.3f} "
+                f"exceeds {spot_check_tolerance} (consider more query walkers)",
+            ))
+
+    ok = not any(issue.severity == "error" for issue in issues)
+    return ValidationReport(ok=ok, issues=issues, checks=checks)

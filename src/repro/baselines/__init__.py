@@ -1,0 +1,30 @@
+"""Baseline SimRank systems the paper compares CloudWalker against.
+
+* :mod:`~repro.baselines.naive_simrank` — the original Jeh & Widom power
+  iteration (O(n^2) memory, O(n^2 d^2) time per iteration): the ground truth
+  and the illustration of why SimRank does not scale naively.
+* :mod:`~repro.baselines.fmt` — FMT, the fingerprint-tree Monte-Carlo method
+  of Fogaras & Rácz (WWW'05): precomputes coupled reverse walks per node and
+  answers single-pair queries from first-meeting times.  Its index is
+  O(n · R · T), which is why the paper reports N/A for it beyond wiki-vote.
+* :mod:`~repro.baselines.lin` — LIN, the linearized SimRank of Maehara et
+  al.: the same linearization CloudWalker uses, but with the diagonal
+  computed by exact iterative solves and queries answered by repeated sparse
+  matrix-vector products (no Monte-Carlo, no per-node parallel indexing).
+* :mod:`~repro.baselines.cocitation` — co-citation similarity, the classical
+  measure SimRank is argued to improve upon in the paper's motivation.
+"""
+
+from repro.baselines.cocitation import cocitation_matrix, cocitation_similarity
+from repro.baselines.fmt import FMTIndex
+from repro.baselines.lin import LinSimRank
+from repro.baselines.naive_simrank import naive_simrank, naive_simrank_pair
+
+__all__ = [
+    "FMTIndex",
+    "LinSimRank",
+    "cocitation_matrix",
+    "cocitation_similarity",
+    "naive_simrank",
+    "naive_simrank_pair",
+]

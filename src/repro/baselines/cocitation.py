@@ -1,0 +1,60 @@
+"""Co-citation similarity.
+
+Two nodes are co-cited when a third node links to both.  Co-citation counts
+are the classical structural similarity measure SimRank improves upon (the
+paper's motivation notes SimRank "outperforms other similarity measures,
+such as co-citation"); the effectiveness benchmark (figure F3) quantifies
+that claim on graphs with planted ground truth.
+
+The cosine-normalised variant is used so scores live in [0, 1] like SimRank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.graph.digraph import DiGraph
+
+
+def cocitation_counts(graph: DiGraph) -> sparse.csr_matrix:
+    """Raw co-citation counts ``C = A^T A`` (C[i, j] = |In(i) ∩ In(j)|)."""
+    adjacency = graph.adjacency_matrix()
+    return (adjacency.T @ adjacency).tocsr()
+
+
+def cocitation_matrix(graph: DiGraph, normalize: bool = True) -> np.ndarray:
+    """Dense co-citation similarity matrix.
+
+    With ``normalize=True`` the counts are cosine-normalised:
+    ``sim(i, j) = |In(i) ∩ In(j)| / sqrt(|In(i)| * |In(j)|)`` and the diagonal
+    is forced to 1 for nodes with at least one in-link (0 otherwise), making
+    the matrix directly comparable to SimRank scores.
+    """
+    counts = cocitation_counts(graph).toarray().astype(np.float64)
+    if not normalize:
+        return counts
+    in_degrees = graph.in_degrees().astype(np.float64)
+    norms = np.sqrt(np.outer(in_degrees, in_degrees))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = np.where(norms > 0, counts / norms, 0.0)
+    diagonal = np.where(in_degrees > 0, 1.0, 0.0)
+    np.fill_diagonal(similarity, diagonal)
+    return similarity
+
+
+def cocitation_similarity(graph: DiGraph, node_i: int, node_j: int,
+                          normalize: bool = True) -> float:
+    """Co-citation similarity of one node pair."""
+    node_i = graph.check_node(node_i)
+    node_j = graph.check_node(node_j)
+    in_i = set(graph.in_neighbors(node_i).tolist())
+    in_j = set(graph.in_neighbors(node_j).tolist())
+    common = len(in_i & in_j)
+    if not normalize:
+        return float(common)
+    if node_i == node_j:
+        return 1.0 if in_i else 0.0
+    if not in_i or not in_j:
+        return 0.0
+    return common / float(np.sqrt(len(in_i) * len(in_j)))

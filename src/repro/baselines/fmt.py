@@ -1,0 +1,229 @@
+"""FMT: fingerprint-tree Monte-Carlo SimRank (Fogaras & Rácz, WWW'05).
+
+FMT precomputes, for every node, ``N`` *coupled* reverse random walks of
+length ``T`` ("fingerprints").  Walks from different nodes within the same
+fingerprint share their random choices — whenever two walks are at the same
+node at the same step they make the same move and stay together — so the
+first-meeting time ``tau(i, j)`` is well defined and
+
+    s(i, j)  ~  (1 / N) * sum_fingerprints  c^tau(i, j)
+
+is an unbiased estimate of SimRank.  Queries are fast, but the index stores a
+full walk path per node per fingerprint: ``O(n * N * T)`` integers.  That
+memory footprint is exactly why the paper reports ``N/A`` for FMT beyond the
+smallest dataset, and this implementation reproduces that behaviour via an
+explicit ``memory_limit_bytes``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import CapacityExceededError, IndexNotBuiltError
+from repro.graph.digraph import DiGraph
+
+_DEAD = -1
+# Multiplicative constants of the per-(fingerprint, step, node) hash used to
+# couple walk choices.  Any odd 64-bit constants work; these are splitmix64's.
+_H1 = np.uint64(0x9E3779B97F4A7C15)
+_H2 = np.uint64(0xBF58476D1CE4E5B9)
+_H3 = np.uint64(0x94D049BB133111EB)
+
+
+def _coupled_choice(nodes: np.ndarray, step: int, fingerprint: int, seed: int,
+                    degrees: np.ndarray) -> np.ndarray:
+    """Deterministic in-neighbour choice shared by all walks at a node.
+
+    Returns, for every entry of ``nodes``, an offset in ``[0, degree)``; the
+    value depends only on (node, step, fingerprint, seed) so two walks at the
+    same node pick the same neighbour and coalesce — the coupling FMT needs.
+    """
+    mask = (1 << 64) - 1
+    step_salt = np.uint64(((step + 1) * 2654435761 * int(_H2)) & mask)
+    fingerprint_salt = np.uint64(
+        (((fingerprint + 1) * 40503 + seed) * int(_H3)) & mask
+    )
+    with np.errstate(over="ignore"):
+        h = nodes.astype(np.uint64) * _H1
+        h ^= step_salt
+        h ^= fingerprint_salt
+        h ^= h >> np.uint64(31)
+        h *= _H1
+        h ^= h >> np.uint64(29)
+    safe_degrees = np.maximum(degrees, 1).astype(np.uint64)
+    return (h % safe_degrees).astype(np.int64)
+
+
+class FMTIndex:
+    """Fingerprint index for Monte-Carlo SimRank queries.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    num_fingerprints:
+        ``N`` — walks stored per node (the paper's FMT uses a few hundred).
+    steps:
+        Walk length ``T``.
+    c:
+        SimRank decay factor.
+    seed:
+        Seed for the coupled choice functions.
+    memory_limit_bytes:
+        Refuse to build (raising :class:`CapacityExceededError`) when the
+        fingerprint store would exceed this budget — the mechanism by which
+        the comparison benchmark reproduces the paper's ``N/A`` cells.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        num_fingerprints: int = 100,
+        steps: int = 10,
+        c: float = 0.6,
+        seed: int = 0,
+        memory_limit_bytes: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        self.num_fingerprints = int(num_fingerprints)
+        self.steps = int(steps)
+        self.c = float(c)
+        self.seed = int(seed)
+        self.memory_limit_bytes = memory_limit_bytes
+        self._paths: Optional[np.ndarray] = None
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    def estimated_index_bytes(self) -> int:
+        """Size of the fingerprint store: one int32 per (fingerprint, step, node)."""
+        return 4 * self.graph.n_nodes * self.num_fingerprints * (self.steps + 1)
+
+    def build(self) -> "FMTIndex":
+        """Precompute all fingerprints (the FMT offline phase)."""
+        required = self.estimated_index_bytes()
+        if self.memory_limit_bytes is not None and required > self.memory_limit_bytes:
+            raise CapacityExceededError(
+                required, self.memory_limit_bytes, "FMT fingerprint index"
+            )
+        start = time.perf_counter()
+        n = self.graph.n_nodes
+        indptr, indices = self.graph.in_csr
+        degrees = np.diff(indptr)
+        paths = np.full(
+            (self.num_fingerprints, self.steps + 1, n), _DEAD, dtype=np.int32
+        )
+        all_nodes = np.arange(n, dtype=np.int64)
+        for fingerprint in range(self.num_fingerprints):
+            positions = all_nodes.copy()
+            paths[fingerprint, 0, :] = positions
+            for step in range(1, self.steps + 1):
+                alive = positions != _DEAD
+                if not alive.any() or len(indices) == 0:
+                    paths[fingerprint, step, :] = _DEAD
+                    positions = np.full_like(positions, _DEAD)
+                    continue
+                current = positions[alive]
+                current_degrees = degrees[current]
+                offsets = _coupled_choice(
+                    current, step, fingerprint, self.seed, current_degrees
+                )
+                # Clamp the gather index so zero-degree nodes read a valid
+                # (ignored) slot; they are overwritten with DEAD below.
+                gather = np.minimum(
+                    indptr[current]
+                    + np.minimum(offsets, np.maximum(current_degrees - 1, 0)),
+                    len(indices) - 1,
+                )
+                next_positions = np.where(
+                    current_degrees > 0, indices[gather], _DEAD
+                )
+                positions = positions.copy()
+                positions[alive] = next_positions
+                paths[fingerprint, step, :] = positions
+        self._paths = paths
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._paths is not None
+
+    def _require_paths(self) -> np.ndarray:
+        if self._paths is None:
+            raise IndexNotBuiltError("FMT query")
+        return self._paths
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def single_pair(self, node_i: int, node_j: int) -> float:
+        """Estimate ``s(i, j)`` from first-meeting times."""
+        node_i = self.graph.check_node(node_i)
+        node_j = self.graph.check_node(node_j)
+        if node_i == node_j:
+            return 1.0
+        paths = self._require_paths()
+        walk_i = paths[:, :, node_i]
+        walk_j = paths[:, :, node_j]
+        met = (walk_i == walk_j) & (walk_i != _DEAD)
+        total = 0.0
+        for fingerprint in range(self.num_fingerprints):
+            meeting_steps = np.flatnonzero(met[fingerprint])
+            if len(meeting_steps):
+                total += self.c ** int(meeting_steps[0])
+        return total / self.num_fingerprints
+
+    def single_source(self, node: int) -> np.ndarray:
+        """Estimate ``s(node, ·)`` for every node.
+
+        FMT has no dedicated single-source algorithm: a single-source query is
+        answered by evaluating the single-pair estimator against every other
+        node, which is why the paper's FMT column shows single-source times in
+        the tens of seconds while its single-pair times are milliseconds.
+        """
+        node = self.graph.check_node(node)
+        self._require_paths()
+        n = self.graph.n_nodes
+        scores = np.empty(n, dtype=np.float64)
+        for other in range(n):
+            scores[other] = self.single_pair(node, other)
+        scores[node] = 1.0
+        return scores
+
+    def single_source_batched(self, node: int) -> np.ndarray:
+        """Vectorised variant of :meth:`single_source`.
+
+        Scans the fingerprint store once per (fingerprint, step) instead of
+        once per node pair; same estimate, much faster.  Kept separate so the
+        comparison benchmark can charge FMT its published per-query cost while
+        library users who just want the numbers can use this one.
+        """
+        node = self.graph.check_node(node)
+        paths = self._require_paths()
+        n = self.graph.n_nodes
+        scores = np.zeros(n, dtype=np.float64)
+        for fingerprint in range(self.num_fingerprints):
+            source_path = paths[fingerprint, :, node]
+            met = np.zeros(n, dtype=bool)
+            for step in range(self.steps + 1):
+                position = source_path[step]
+                if position == _DEAD:
+                    break
+                matches = (paths[fingerprint, step, :] == position) & (~met)
+                scores[matches] += self.c ** step
+                met |= matches
+        scores /= self.num_fingerprints
+        scores[node] = 1.0
+        return scores
+
+    def top_k(self, node: int, k: int = 10) -> List[Tuple[int, float]]:
+        """Top-k most similar nodes under the FMT estimate."""
+        scores = self.single_source_batched(node).copy()
+        scores[node] = -np.inf
+        k = min(k, self.graph.n_nodes)
+        candidates = np.argpartition(-scores, kth=k - 1)[:k]
+        ranked = candidates[np.argsort(-scores[candidates], kind="stable")]
+        return [(int(c), float(scores[c])) for c in ranked if np.isfinite(scores[c])]

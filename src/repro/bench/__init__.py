@@ -1,0 +1,17 @@
+"""Benchmark harness for reproducing the paper's tables and figures.
+
+The heavy lifting for every experiment lives in :mod:`repro.bench.experiments`
+(one function per table/figure); :mod:`repro.bench.workloads` defines the
+datasets, query workloads and per-tier Monte-Carlo budgets; and
+:mod:`repro.bench.reporting` renders the results in the same row/column
+layout the paper uses and persists them for ``EXPERIMENTS.md``.
+
+The thin ``benchmarks/bench_*.py`` modules at the repository root simply call
+into this package from ``pytest-benchmark`` tests, so the experiment logic is
+unit-testable like any other library code.
+"""
+
+from repro.bench import experiments, reporting, workloads
+from repro.bench.runner import QueryTimings, time_call
+
+__all__ = ["experiments", "reporting", "workloads", "QueryTimings", "time_call"]

@@ -1,0 +1,56 @@
+"""Timing helpers used by the benchmark experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+
+def time_call(func: Callable[[], Any]) -> Tuple[Any, float]:
+    """Run ``func`` once and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+@dataclass
+class QueryTimings:
+    """Latency samples for one query type on one dataset."""
+
+    query_type: str
+    seconds: List[float] = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.seconds.append(value)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.seconds) / len(self.seconds) if self.seconds else float("nan")
+
+    @property
+    def minimum(self) -> float:
+        return min(self.seconds) if self.seconds else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        return max(self.seconds) if self.seconds else float("nan")
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "query_type": self.query_type,
+            "mean_seconds": self.mean,
+            "min_seconds": self.minimum,
+            "max_seconds": self.maximum,
+            "samples": len(self.seconds),
+        }
+
+
+def measure_queries(func: Callable[..., Any], arguments: List[tuple],
+                    query_type: str) -> QueryTimings:
+    """Call ``func(*args)`` for every argument tuple, recording latencies."""
+    timings = QueryTimings(query_type=query_type)
+    for args in arguments:
+        _result, elapsed = time_call(lambda args=args: func(*args))
+        timings.add(elapsed)
+    return timings

@@ -1,0 +1,254 @@
+"""Command-line interface for the CloudWalker reproduction.
+
+The CLI covers the operational workflow a user of the original system would
+have: inspect datasets, generate or ingest a graph, build the offline index,
+validate it, and answer queries — all from the shell.
+
+Examples
+--------
+::
+
+    python -m repro datasets
+    python -m repro generate --model copying --nodes 1000 --output graph.tsv
+    python -m repro stats --graph graph.tsv
+    python -m repro index --graph graph.tsv --output index.npz --walkers 100
+    python -m repro validate --graph graph.tsv --index index.npz
+    python -m repro query pair --graph graph.tsv --index index.npz --source 3 --target 17
+    python -m repro query topk --graph graph.tsv --index index.npz --source 3 --k 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.config import SimRankParams
+from repro.core.cloudwalker import CloudWalker
+from repro.core.index import DiagonalIndex
+from repro.errors import CloudWalkerError
+from repro.graph import datasets, generators, io, stats
+from repro.graph.digraph import DiGraph
+
+
+# --------------------------------------------------------------------------- #
+# Helpers
+# --------------------------------------------------------------------------- #
+def _load_graph(args: argparse.Namespace) -> DiGraph:
+    """Load the graph referenced by ``--graph`` or ``--dataset``."""
+    if getattr(args, "dataset", None):
+        return datasets.load(args.dataset)
+    path = args.graph
+    if path is None:
+        raise CloudWalkerError("either --graph or --dataset is required")
+    if str(path).endswith(".npz"):
+        return io.load_binary(path)
+    return io.read_edge_list(path, relabel=False)
+
+
+def _params_from_args(args: argparse.Namespace) -> SimRankParams:
+    defaults = SimRankParams.paper_defaults()
+    return SimRankParams(
+        c=getattr(args, "decay", defaults.c),
+        walk_steps=getattr(args, "steps", defaults.walk_steps),
+        jacobi_iterations=getattr(args, "jacobi", defaults.jacobi_iterations),
+        index_walkers=getattr(args, "walkers", defaults.index_walkers),
+        query_walkers=getattr(args, "query_walkers", defaults.query_walkers),
+        seed=getattr(args, "seed", defaults.seed),
+    )
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--graph", help="edge-list (.tsv) or binary (.npz) graph file")
+    parser.add_argument(
+        "--dataset", help="name of a registered dataset stand-in (see 'datasets')"
+    )
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = SimRankParams.paper_defaults()
+    parser.add_argument("--decay", type=float, default=defaults.c,
+                        help="SimRank decay factor c (default: %(default)s)")
+    parser.add_argument("--steps", type=int, default=defaults.walk_steps,
+                        help="walk steps T (default: %(default)s)")
+    parser.add_argument("--jacobi", type=int, default=defaults.jacobi_iterations,
+                        help="Jacobi iterations L (default: %(default)s)")
+    parser.add_argument("--walkers", type=int, default=defaults.index_walkers,
+                        help="index walkers R (default: %(default)s)")
+    parser.add_argument("--query-walkers", dest="query_walkers", type=int,
+                        default=defaults.query_walkers,
+                        help="query walkers R' (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=defaults.seed,
+                        help="random seed (default: %(default)s)")
+
+
+# --------------------------------------------------------------------------- #
+# Subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_datasets(args: argparse.Namespace, out) -> int:
+    print(f"{'name':<15} {'tier':<7} {'paper size':<22} description", file=out)
+    for name in datasets.names():
+        spec = datasets.get(name)
+        paper = f"{spec.paper.human_nodes} nodes / {spec.paper.human_edges} edges"
+        print(f"{spec.name:<15} {spec.tier:<7} {paper:<22} {spec.description[:60]}",
+              file=out)
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace, out) -> int:
+    builders = {
+        "erdos-renyi": lambda: generators.erdos_renyi_graph(
+            args.nodes, avg_degree=args.degree, seed=args.seed),
+        "preferential": lambda: generators.preferential_attachment_graph(
+            args.nodes, out_degree=max(int(args.degree), 1), seed=args.seed),
+        "power-law": lambda: generators.power_law_graph(
+            args.nodes, avg_degree=args.degree, seed=args.seed),
+        "copying": lambda: generators.copying_model_graph(
+            args.nodes, out_degree=max(int(args.degree), 1), seed=args.seed),
+    }
+    if args.model not in builders:
+        print(f"unknown model {args.model!r}; choose from {sorted(builders)}", file=out)
+        return 2
+    graph = builders[args.model]()
+    if args.output.endswith(".npz"):
+        io.save_binary(graph, args.output)
+    else:
+        io.write_edge_list(graph, args.output)
+    print(f"wrote {graph.n_nodes} nodes / {graph.n_edges} edges to {args.output}",
+          file=out)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    info = stats.compute_stats(graph)
+    for key, value in info.to_dict().items():
+        print(f"{key:<28} {value}", file=out)
+    return 0
+
+
+def _cmd_index(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    params = _params_from_args(args)
+    walker = CloudWalker(graph, params=params, mode=args.mode)
+    start = time.perf_counter()
+    index = walker.build_index()
+    elapsed = time.perf_counter() - start
+    index.save(args.output)
+    print(f"indexed {graph.n_nodes} nodes / {graph.n_edges} edges "
+          f"in {elapsed:.2f}s using the {args.mode!r} execution model", file=out)
+    print(f"index written to {args.output} "
+          f"({index.memory_bytes / 1024:.1f} KiB, residual "
+          f"{index.build_info.jacobi_residual:.4f})", file=out)
+    walker.shutdown()
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace, out) -> int:
+    from repro.analysis.validation import validate_index
+
+    graph = _load_graph(args)
+    index = DiagonalIndex.load(args.index)
+    report = validate_index(graph, index, spot_check_pairs=args.spot_checks)
+    for key, value in report.checks.items():
+        print(f"{key:<30} {value:.6f}", file=out)
+    for issue in report.issues:
+        print(str(issue), file=out)
+    print("OK" if report.ok else "FAILED", file=out)
+    return 0 if report.ok else 1
+
+
+def _cmd_query(args: argparse.Namespace, out) -> int:
+    graph = _load_graph(args)
+    params = _params_from_args(args)
+    walker = CloudWalker(graph, params=params)
+    walker.load_index(args.index)
+    if args.query_type == "pair":
+        if args.target is None:
+            print("query pair requires --target", file=out)
+            return 2
+        value = walker.single_pair(args.source, args.target)
+        print(f"s({args.source}, {args.target}) = {value:.6f}", file=out)
+    elif args.query_type == "source":
+        scores = walker.single_source(args.source)
+        print(f"single-source scores from node {args.source}: "
+              f"mean={scores.mean():.6f} max={scores.max():.6f}", file=out)
+    else:  # topk
+        for rank, (node, score) in enumerate(walker.top_k(args.source, k=args.k), 1):
+            print(f"{rank:>3}. node {node:<8} score {score:.6f}", file=out)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Parser wiring
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CloudWalker: parallel SimRank computation (paper reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("datasets", help="list registered dataset stand-ins")
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic graph")
+    generate.add_argument("--model", default="copying",
+                          help="erdos-renyi | preferential | power-law | copying")
+    generate.add_argument("--nodes", type=int, default=1_000)
+    generate.add_argument("--degree", type=float, default=8.0)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--output", required=True)
+
+    stats_parser = subparsers.add_parser("stats", help="print graph statistics")
+    _add_graph_arguments(stats_parser)
+
+    index = subparsers.add_parser("index", help="build the CloudWalker index")
+    _add_graph_arguments(index)
+    _add_param_arguments(index)
+    index.add_argument("--mode", default="local",
+                       choices=["local", "broadcasting", "rdd"],
+                       help="execution model (default: %(default)s)")
+    index.add_argument("--output", required=True, help="where to write the .npz index")
+
+    validate = subparsers.add_parser("validate", help="validate an index against a graph")
+    _add_graph_arguments(validate)
+    validate.add_argument("--index", required=True)
+    validate.add_argument("--spot-checks", dest="spot_checks", type=int, default=20)
+
+    query = subparsers.add_parser("query", help="answer SimRank queries")
+    query.add_argument("query_type", choices=["pair", "source", "topk"])
+    _add_graph_arguments(query)
+    _add_param_arguments(query)
+    query.add_argument("--index", required=True)
+    query.add_argument("--source", type=int, required=True)
+    query.add_argument("--target", type=int)
+    query.add_argument("--k", type=int, default=10)
+
+    return parser
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "index": _cmd_index,
+    "validate": _cmd_validate,
+    "query": _cmd_query,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except CloudWalkerError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,247 @@
+"""Configuration objects for CloudWalker.
+
+Two dataclasses are defined here:
+
+:class:`SimRankParams`
+    The algorithmic parameters of CloudWalker, with the paper's default
+    values (Table "default parameters": c=0.6, T=10, L=3, R=100, R'=10000).
+
+:class:`ClusterSpec`
+    A description of the (simulated) cluster used by the engine's cost
+    model.  The paper's testbed was 10 machines, each with 16 cores, 377 GB
+    RAM and 20 TB of disk; :meth:`ClusterSpec.paper_cluster` reproduces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SimRankParams:
+    """Algorithmic parameters of CloudWalker.
+
+    Attributes
+    ----------
+    c:
+        SimRank decay factor, ``0 < c < 1``.  Paper default 0.6.
+    walk_steps:
+        ``T`` — number of random-walk steps (truncation of the series).
+    jacobi_iterations:
+        ``L`` — number of Jacobi iterations used to solve ``A x = 1``.
+    index_walkers:
+        ``R`` — number of Monte-Carlo walkers per node when estimating the
+        columns ``a_i`` of the linear system during offline indexing.
+    query_walkers:
+        ``R'`` — number of Monte-Carlo walkers used by the online MCSP /
+        MCSS queries.
+    seed:
+        Base seed used to derive all pseudo-random streams.  ``None`` means
+        nondeterministic.
+    """
+
+    c: float = 0.6
+    walk_steps: int = 10
+    jacobi_iterations: int = 3
+    index_walkers: int = 100
+    query_walkers: int = 10_000
+    seed: Optional[int] = 2015
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.c < 1.0:
+            raise ConfigurationError(f"decay factor c must be in (0, 1), got {self.c}")
+        if self.walk_steps < 1:
+            raise ConfigurationError(
+                f"walk_steps (T) must be a positive integer, got {self.walk_steps}"
+            )
+        if self.jacobi_iterations < 0:
+            raise ConfigurationError(
+                f"jacobi_iterations (L) must be >= 0, got {self.jacobi_iterations}"
+            )
+        if self.index_walkers < 1:
+            raise ConfigurationError(
+                f"index_walkers (R) must be >= 1, got {self.index_walkers}"
+            )
+        if self.query_walkers < 1:
+            raise ConfigurationError(
+                f"query_walkers (R') must be >= 1, got {self.query_walkers}"
+            )
+
+    @classmethod
+    def paper_defaults(cls) -> "SimRankParams":
+        """Return the default parameters used throughout the paper."""
+        return cls(
+            c=0.6,
+            walk_steps=10,
+            jacobi_iterations=3,
+            index_walkers=100,
+            query_walkers=10_000,
+            seed=2015,
+        )
+
+    @classmethod
+    def fast_defaults(cls) -> "SimRankParams":
+        """Cheaper parameters suited to unit tests and examples.
+
+        The algorithmic structure is identical; only the Monte-Carlo budgets
+        are reduced so small graphs index in milliseconds.
+        """
+        return cls(
+            c=0.6,
+            walk_steps=6,
+            jacobi_iterations=3,
+            index_walkers=50,
+            query_walkers=400,
+            seed=2015,
+        )
+
+    def with_(self, **changes: Any) -> "SimRankParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict representation (used by index serialisation)."""
+        return {
+            "c": self.c,
+            "walk_steps": self.walk_steps,
+            "jacobi_iterations": self.jacobi_iterations,
+            "index_walkers": self.index_walkers,
+            "query_walkers": self.query_walkers,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimRankParams":
+        """Reconstruct parameters from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Description of a (simulated) cluster for the engine cost model.
+
+    The engine always *executes* locally; the spec is used to account the
+    wall-clock a job would take on a cluster of this shape (number of
+    machines and cores bounds parallelism, per-executor memory bounds the
+    broadcasting model, network bandwidth prices shuffles and broadcasts).
+
+    Attributes
+    ----------
+    machines:
+        Number of worker machines.
+    cores_per_machine:
+        CPU cores available to executors on each machine.
+    memory_per_machine_gb:
+        Executor memory per machine, in gigabytes.
+    disk_per_machine_tb:
+        Local disk per machine, in terabytes (used only for spill checks).
+    network_gbps:
+        Point-to-point network bandwidth in gigabits per second.
+    """
+
+    machines: int = 1
+    cores_per_machine: int = 4
+    memory_per_machine_gb: float = 8.0
+    disk_per_machine_tb: float = 0.5
+    network_gbps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.machines < 1:
+            raise ConfigurationError(f"machines must be >= 1, got {self.machines}")
+        if self.cores_per_machine < 1:
+            raise ConfigurationError(
+                f"cores_per_machine must be >= 1, got {self.cores_per_machine}"
+            )
+        if self.memory_per_machine_gb <= 0:
+            raise ConfigurationError(
+                f"memory_per_machine_gb must be > 0, got {self.memory_per_machine_gb}"
+            )
+        if self.disk_per_machine_tb <= 0:
+            raise ConfigurationError(
+                f"disk_per_machine_tb must be > 0, got {self.disk_per_machine_tb}"
+            )
+        if self.network_gbps <= 0:
+            raise ConfigurationError(
+                f"network_gbps must be > 0, got {self.network_gbps}"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total number of executor cores in the cluster."""
+        return self.machines * self.cores_per_machine
+
+    @property
+    def total_memory_gb(self) -> float:
+        """Total executor memory across the cluster, in gigabytes."""
+        return self.machines * self.memory_per_machine_gb
+
+    @property
+    def memory_per_machine_bytes(self) -> float:
+        """Executor memory per machine, in bytes."""
+        return self.memory_per_machine_gb * 1e9
+
+    @classmethod
+    def paper_cluster(cls) -> "ClusterSpec":
+        """The testbed used in the paper: 10 x (16 cores, 377 GB, 20 TB)."""
+        return cls(
+            machines=10,
+            cores_per_machine=16,
+            memory_per_machine_gb=377.0,
+            disk_per_machine_tb=20.0,
+            network_gbps=10.0,
+        )
+
+    @classmethod
+    def local(cls, cores: int = 4, memory_gb: float = 8.0) -> "ClusterSpec":
+        """A single-machine spec matching a developer laptop."""
+        return cls(
+            machines=1,
+            cores_per_machine=cores,
+            memory_per_machine_gb=memory_gb,
+            disk_per_machine_tb=0.5,
+            network_gbps=10.0,
+        )
+
+    def with_(self, **changes: Any) -> "ClusterSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass
+class ExecutionOptions:
+    """Runtime knobs shared by the execution models.
+
+    Attributes
+    ----------
+    backend:
+        ``"serial"``, ``"threads"`` or ``"processes"`` — how engine tasks are
+        physically executed on the local machine.
+    num_partitions:
+        Default number of partitions for RDDs created from graph data.
+        ``None`` lets the engine pick ``total_cores * 2``.
+    simulate_cluster:
+        When true, jobs also produce a simulated wall-clock estimate for
+        :attr:`cluster` via the cost model (used by the benchmark harness).
+    cluster:
+        The cluster the cost model should simulate.
+    """
+
+    backend: str = "serial"
+    num_partitions: Optional[int] = None
+    simulate_cluster: bool = False
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+
+    _VALID_BACKENDS = ("serial", "threads", "processes")
+
+    def __post_init__(self) -> None:
+        if self.backend not in self._VALID_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {self._VALID_BACKENDS}, got {self.backend!r}"
+            )
+        if self.num_partitions is not None and self.num_partitions < 1:
+            raise ConfigurationError(
+                f"num_partitions must be >= 1 or None, got {self.num_partitions}"
+            )

@@ -1,0 +1,213 @@
+"""Incremental index maintenance under edge insertions.
+
+The paper builds its index for a static snapshot; rebuilding from scratch
+after every graph change would waste most of the Monte-Carlo work, because an
+edge insertion ``u -> v`` only changes the reverse-walk distributions of the
+nodes that can reach the walk through ``v`` — i.e. the nodes reachable from
+``v`` along at most ``T`` forward edges.  This module implements that
+observation as an incremental maintainer (a natural extension of the paper's
+system; listed as such in DESIGN.md):
+
+1. keep the assembled linear system ``A`` from the last build;
+2. on ``add_edges``, compute the affected source set by a bounded forward
+   BFS from the new edges' heads;
+3. re-estimate only the affected rows of ``A`` (Monte-Carlo, same budget as
+   the original build);
+4. warm-start the Jacobi solve from the previous diagonal.
+
+For localized updates this costs a small fraction of a full rebuild while
+producing an index that is statistically indistinguishable from one built
+from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.config import SimRankParams
+from repro.core import linear_system, walks
+from repro.core.index import BuildInfo, DiagonalIndex
+from repro.core.jacobi import jacobi_solve
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+
+
+def affected_sources(graph: DiGraph, changed_heads: Iterable[int], steps: int) -> Set[int]:
+    """Nodes whose rows ``a_i`` may change when the in-links of
+    ``changed_heads`` change.
+
+    A reverse walk from source ``i`` visits ``v`` within ``T`` steps exactly
+    when there is a forward path ``v -> ... -> i`` of length at most ``T``,
+    so the affected set is the forward BFS ball of radius ``T`` around the
+    changed heads (including the heads themselves).
+    """
+    frontier = {graph.check_node(node) for node in changed_heads}
+    affected: Set[int] = set(frontier)
+    for _ in range(steps):
+        next_frontier: Set[int] = set()
+        for node in frontier:
+            for successor in graph.out_neighbors(node):
+                successor = int(successor)
+                if successor not in affected:
+                    affected.add(successor)
+                    next_frontier.add(successor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return affected
+
+
+class IncrementalCloudWalker:
+    """Maintains a CloudWalker index across edge insertions.
+
+    Parameters
+    ----------
+    graph:
+        Initial graph.
+    params:
+        Algorithmic parameters (shared by the initial build and all updates).
+    exact:
+        Use exact walk distributions instead of Monte-Carlo (small graphs;
+        makes incremental results exactly equal to full rebuilds, which the
+        tests exploit).
+    """
+
+    def __init__(self, graph: DiGraph, params: Optional[SimRankParams] = None,
+                 exact: bool = False) -> None:
+        self.graph = graph
+        self.params = params or SimRankParams.paper_defaults()
+        self.exact = exact
+        self._system: Optional[sparse.csr_matrix] = None
+        self.index: Optional[DiagonalIndex] = None
+        self._update_count = 0
+
+    # ------------------------------------------------------------------ #
+    def build(self) -> DiagonalIndex:
+        """Initial full build (also callable to force a rebuild)."""
+        start = time.perf_counter()
+        self._system = self._build_rows(self.graph, range(self.graph.n_nodes)).tolil().tocsr()
+        self.index = self._solve(self.graph, self._system,
+                                 initial=None, seconds_so_far=time.perf_counter() - start,
+                                 update_kind="full-build", affected=self.graph.n_nodes)
+        return self.index
+
+    def _build_rows(self, graph: DiGraph, sources: Iterable[int]) -> sparse.csr_matrix:
+        sources = list(sources)
+        if self.exact:
+            full = linear_system.build_exact_system(graph, self.params)
+            mask = np.zeros(graph.n_nodes, dtype=bool)
+            mask[sources] = True
+            keep = sparse.diags(mask.astype(np.float64))
+            return (keep @ full).tocsr()
+        rng = walks.make_rng(self.params.seed, stream=50_000 + self._update_count)
+        rows, cols, values = linear_system.build_rows(graph, sources, self.params, rng=rng)
+        return sparse.csr_matrix(
+            (values, (rows, cols)), shape=(graph.n_nodes, graph.n_nodes)
+        )
+
+    def _solve(self, graph: DiGraph, system: sparse.csr_matrix,
+               initial: Optional[np.ndarray], seconds_so_far: float,
+               update_kind: str, affected: int) -> DiagonalIndex:
+        rhs = np.ones(graph.n_nodes, dtype=np.float64)
+        start = time.perf_counter()
+        if graph.n_nodes == 0:
+            x = np.zeros(0, dtype=np.float64)
+            residual = float("nan")
+        else:
+            guess = (
+                initial if initial is not None
+                else np.full(graph.n_nodes, 1.0 - self.params.c)
+            )
+            solution = jacobi_solve(
+                system, rhs, iterations=self.params.jacobi_iterations, initial=guess
+            )
+            x = solution.x
+            residual = solution.final_residual
+        solve_seconds = time.perf_counter() - start
+        build_info = BuildInfo(
+            execution_model="incremental",
+            monte_carlo_seconds=seconds_so_far,
+            solve_seconds=solve_seconds,
+            total_seconds=seconds_so_far + solve_seconds,
+            jacobi_residual=residual,
+            system_nnz=int(system.nnz),
+            extras={"update_kind": update_kind, "affected_rows": affected},
+        )
+        return DiagonalIndex(
+            diagonal=x, params=self.params, graph_name=graph.name,
+            n_nodes=graph.n_nodes, n_edges=graph.n_edges, build_info=build_info,
+        )
+
+    # ------------------------------------------------------------------ #
+    def add_edges(self, new_edges: Sequence[Tuple[int, int]]) -> Dict[str, object]:
+        """Insert edges and update the index incrementally.
+
+        Returns a summary dict with the number of affected rows and the
+        update cost; the new graph and index are available as
+        :attr:`graph` / :attr:`index`.
+        """
+        if self.index is None or self._system is None:
+            raise ConfigurationError("call build() before add_edges()")
+        if not new_edges:
+            return {"affected_rows": 0, "update_seconds": 0.0, "new_nodes": 0}
+
+        start = time.perf_counter()
+        old_n = self.graph.n_nodes
+        max_endpoint = max(max(int(u), int(v)) for u, v in new_edges)
+        new_n = max(old_n, max_endpoint + 1)
+        combined_edges = np.vstack([
+            self.graph.edge_array(),
+            np.asarray(list(new_edges), dtype=np.int64).reshape(-1, 2),
+        ])
+        new_graph = DiGraph(new_n, combined_edges, name=self.graph.name)
+
+        self._update_count += 1
+        heads = {int(v) for _u, v in new_edges}
+        new_node_ids = set(range(old_n, new_n))
+        affected = affected_sources(new_graph, heads, self.params.walk_steps)
+        affected |= new_node_ids
+
+        # Re-estimate the affected rows on the new graph.
+        fresh_rows = self._build_rows(new_graph, sorted(affected))
+
+        # Splice: keep unaffected rows of the old system, take affected rows
+        # from the fresh estimate.  (Row dimensions may have grown.)
+        old_system = self._system
+        if new_n > old_n:
+            old_system = sparse.csr_matrix(
+                (old_system.data, old_system.indices, old_system.indptr),
+                shape=(old_n, new_n),
+            )
+            old_system = sparse.vstack(
+                [old_system, sparse.csr_matrix((new_n - old_n, new_n))]
+            ).tocsr()
+        keep_mask = np.ones(new_n, dtype=np.float64)
+        keep_mask[sorted(affected)] = 0.0
+        keep = sparse.diags(keep_mask)
+        self._system = (keep @ old_system + fresh_rows).tocsr()
+
+        # Warm-start the solve from the previous diagonal.
+        warm = np.full(new_n, 1.0 - self.params.c, dtype=np.float64)
+        warm[:old_n] = self.index.diagonal
+        monte_carlo_seconds = time.perf_counter() - start
+        self.graph = new_graph
+        self.index = self._solve(
+            new_graph, self._system, initial=warm,
+            seconds_so_far=monte_carlo_seconds,
+            update_kind="incremental-add-edges", affected=len(affected),
+        )
+        return {
+            "affected_rows": len(affected),
+            "affected_fraction": len(affected) / max(new_n, 1),
+            "new_nodes": new_n - old_n,
+            "update_seconds": time.perf_counter() - start,
+        }
+
+    # ------------------------------------------------------------------ #
+    def full_rebuild(self) -> DiagonalIndex:
+        """Rebuild from scratch on the current graph (for cost comparisons)."""
+        return self.build()

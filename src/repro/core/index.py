@@ -1,0 +1,182 @@
+"""The persisted CloudWalker index: the diagonal correction vector.
+
+The whole offline phase of CloudWalker produces a single vector ``x`` with
+one entry per node (the diagonal of the correction matrix ``D``).  Every
+online query only needs ``x`` and the graph, so the index is tiny compared to
+the graph itself — the property that lets CloudWalker answer "big SimRank"
+queries with "instant response".
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from repro.config import SimRankParams
+from repro.errors import CloudWalkerError
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass
+class BuildInfo:
+    """Provenance of an index build (used by benchmarks and EXPERIMENTS.md)."""
+
+    execution_model: str = "local"
+    monte_carlo_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    total_seconds: float = 0.0
+    jacobi_residual: float = float("nan")
+    system_nnz: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "execution_model": self.execution_model,
+            "monte_carlo_seconds": self.monte_carlo_seconds,
+            "solve_seconds": self.solve_seconds,
+            "total_seconds": self.total_seconds,
+            "jacobi_residual": self.jacobi_residual,
+            "system_nnz": self.system_nnz,
+            **self.extras,
+        }
+
+
+@dataclass
+class DiagonalIndex:
+    """The diagonal correction vector ``x = diag(D)`` plus provenance.
+
+    Attributes
+    ----------
+    diagonal:
+        One float per node.
+    params:
+        The parameters used to build the index.
+    graph_name / n_nodes / n_edges:
+        Fingerprint of the graph the index was built for; queries check the
+        node count so a stale index cannot silently be used with a different
+        graph.
+    build_info:
+        Timings and diagnostics of the build.
+    """
+
+    diagonal: np.ndarray
+    params: SimRankParams
+    graph_name: str
+    n_nodes: int
+    n_edges: int
+    build_info: BuildInfo = field(default_factory=BuildInfo)
+
+    def __post_init__(self) -> None:
+        self.diagonal = np.asarray(self.diagonal, dtype=np.float64).ravel()
+        if self.diagonal.shape[0] != self.n_nodes:
+            raise CloudWalkerError(
+                f"diagonal has {self.diagonal.shape[0]} entries but the graph "
+                f"has {self.n_nodes} nodes"
+            )
+
+    def validate_for(self, graph: DiGraph) -> None:
+        """Raise if the index does not match ``graph``."""
+        if graph.n_nodes != self.n_nodes:
+            raise CloudWalkerError(
+                f"index was built for a graph with {self.n_nodes} nodes but the "
+                f"query graph has {graph.n_nodes}"
+            )
+
+    @property
+    def memory_bytes(self) -> int:
+        """Size of the index payload (one float per node)."""
+        return int(self.diagonal.nbytes)
+
+    def summary(self) -> Dict[str, Any]:
+        """Human-readable summary used by reports."""
+        return {
+            "graph_name": self.graph_name,
+            "n_nodes": self.n_nodes,
+            "n_edges": self.n_edges,
+            "diag_min": float(self.diagonal.min()) if self.n_nodes else float("nan"),
+            "diag_max": float(self.diagonal.max()) if self.n_nodes else float("nan"),
+            "diag_mean": float(self.diagonal.mean()) if self.n_nodes else float("nan"),
+            "index_bytes": self.memory_bytes,
+            **self.build_info.to_dict(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: PathLike) -> None:
+        """Save the index as a compressed ``.npz`` file."""
+        params = self.params.to_dict()
+        np.savez_compressed(
+            Path(path),
+            diagonal=self.diagonal,
+            graph_name=np.array(self.graph_name),
+            n_nodes=np.array(self.n_nodes, dtype=np.int64),
+            n_edges=np.array(self.n_edges, dtype=np.int64),
+            params_keys=np.array(list(params.keys())),
+            params_values=np.array(
+                [repr(value) for value in params.values()]
+            ),
+            execution_model=np.array(self.build_info.execution_model),
+            timings=np.array(
+                [
+                    self.build_info.monte_carlo_seconds,
+                    self.build_info.solve_seconds,
+                    self.build_info.total_seconds,
+                    self.build_info.jacobi_residual,
+                    float(self.build_info.system_nnz),
+                ]
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "DiagonalIndex":
+        """Load an index previously written by :meth:`save`."""
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                params_dict = {
+                    key: _parse_literal(value)
+                    for key, value in zip(
+                        data["params_keys"].tolist(), data["params_values"].tolist()
+                    )
+                }
+                timings = data["timings"]
+                build_info = BuildInfo(
+                    execution_model=str(data["execution_model"]),
+                    monte_carlo_seconds=float(timings[0]),
+                    solve_seconds=float(timings[1]),
+                    total_seconds=float(timings[2]),
+                    jacobi_residual=float(timings[3]),
+                    system_nnz=int(timings[4]),
+                )
+                return cls(
+                    diagonal=data["diagonal"],
+                    params=SimRankParams.from_dict(params_dict),
+                    graph_name=str(data["graph_name"]),
+                    n_nodes=int(data["n_nodes"]),
+                    n_edges=int(data["n_edges"]),
+                    build_info=build_info,
+                )
+        except (OSError, KeyError, ValueError) as exc:
+            raise CloudWalkerError(f"cannot load index from {path}: {exc}") from exc
+
+
+def _parse_literal(text: str) -> Any:
+    """Parse the repr of a params value back into a Python object."""
+    if text == "None":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text.strip("'\"")

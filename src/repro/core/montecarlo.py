@@ -1,0 +1,151 @@
+"""Monte-Carlo estimation of reverse-walk distributions.
+
+The quantities CloudWalker needs — the columns ``a_i`` of the indexing
+linear system and the walk distributions used by the online queries — are all
+functions of ``P^t e_i``, the distribution of a ``t``-step reverse walk from
+node ``i``.  This module wraps the raw walk simulation of
+:mod:`repro.core.walks` into the estimators the rest of the pipeline uses,
+and provides the exact (non-Monte-Carlo) counterparts for tests/ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SimRankParams
+from repro.core import walks
+from repro.graph.digraph import DiGraph
+
+SparseVector = Tuple[np.ndarray, np.ndarray]
+"""A sparse vector as ``(node_ids, values)`` arrays."""
+
+
+@dataclass
+class WalkDistributions:
+    """Estimated distributions ``P^t e_source`` for ``t = 0..steps``.
+
+    Attributes
+    ----------
+    source:
+        The start node.
+    steps:
+        Number of walk steps ``T``.
+    walkers:
+        Number of Monte-Carlo walkers used (0 means the distributions are
+        exact).
+    per_step:
+        ``per_step[t]`` is a sparse vector ``(nodes, probabilities)``.
+    """
+
+    source: int
+    steps: int
+    walkers: int
+    per_step: List[SparseVector]
+
+    def dense(self, n_nodes: int, step: int) -> np.ndarray:
+        """Return the distribution at ``step`` as a dense vector."""
+        vector = np.zeros(n_nodes, dtype=np.float64)
+        nodes, values = self.per_step[step]
+        vector[nodes] = values
+        return vector
+
+    def survival(self, step: int) -> float:
+        """Total surviving probability mass at ``step`` (walk absorption)."""
+        _nodes, values = self.per_step[step]
+        return float(values.sum())
+
+
+def estimate_walk_distributions(
+    graph: DiGraph,
+    source: int,
+    params: SimRankParams,
+    rng: Optional[np.random.Generator] = None,
+    walkers: Optional[int] = None,
+) -> WalkDistributions:
+    """Monte-Carlo estimate of ``P^t e_source`` for ``t = 0..T``.
+
+    Uses ``walkers`` random walkers (default ``params.query_walkers``), each
+    taking ``params.walk_steps`` reverse steps.
+    """
+    walkers_count = walkers if walkers is not None else params.query_walkers
+    rng = rng if rng is not None else walks.make_rng(params.seed, stream=source)
+    counts = walks.single_source_walk_counts(
+        graph, source, walkers_count, params.walk_steps, rng
+    )
+    per_step: List[SparseVector] = [
+        (nodes, count.astype(np.float64) / walkers_count) for nodes, count in counts
+    ]
+    return WalkDistributions(
+        source=int(source), steps=params.walk_steps, walkers=walkers_count,
+        per_step=per_step,
+    )
+
+
+def exact_walk_distributions(
+    graph: DiGraph, source: int, params: SimRankParams
+) -> WalkDistributions:
+    """Exact ``P^t e_source`` (sparse form), for tests and ablations."""
+    dense_vectors = walks.exact_walk_distributions(graph, source, params.walk_steps)
+    per_step: List[SparseVector] = []
+    for vector in dense_vectors:
+        nodes = np.flatnonzero(vector)
+        per_step.append((nodes.astype(np.int64), vector[nodes]))
+    return WalkDistributions(
+        source=int(source), steps=params.walk_steps, walkers=0, per_step=per_step
+    )
+
+
+def distribution_error(estimated: WalkDistributions, exact: WalkDistributions,
+                       n_nodes: int) -> float:
+    """Mean L1 distance between estimated and exact per-step distributions.
+
+    Used by the ablation that relates the number of walkers ``R`` to the
+    quality of the estimated linear system.
+    """
+    if estimated.steps != exact.steps:
+        raise ValueError("distributions cover different numbers of steps")
+    total = 0.0
+    for step in range(estimated.steps + 1):
+        difference = estimated.dense(n_nodes, step) - exact.dense(n_nodes, step)
+        total += float(np.abs(difference).sum())
+    return total / (estimated.steps + 1)
+
+
+def sparse_dot(left: SparseVector, right: SparseVector,
+               weights: Optional[np.ndarray] = None) -> float:
+    """Compute ``sum_u left[u] * right[u] * weights[u]`` for sparse vectors."""
+    left_nodes, left_values = left
+    right_nodes, right_values = right
+    if len(left_nodes) == 0 or len(right_nodes) == 0:
+        return 0.0
+    # Intersect supports; both node arrays are sorted (np.unique output).
+    common, left_idx, right_idx = np.intersect1d(
+        left_nodes, right_nodes, assume_unique=True, return_indices=True
+    )
+    if len(common) == 0:
+        return 0.0
+    products = left_values[left_idx] * right_values[right_idx]
+    if weights is not None:
+        products = products * weights[common]
+    return float(products.sum())
+
+
+def self_meeting_column(distributions: WalkDistributions, decay: float) -> Dict[int, float]:
+    """Column ``a_i`` of the indexing system from one node's distributions.
+
+    ``a_i[u] = sum_t c^t (P^t e_i)[u]^2`` — the probability-weighted chance
+    that two independent reverse walks from ``i`` are both at ``u`` after
+    ``t`` steps, discounted by ``c^t``.
+    """
+    column: Dict[int, float] = {}
+    factor = 1.0
+    for step in range(distributions.steps + 1):
+        nodes, values = distributions.per_step[step]
+        contributions = factor * values * values
+        for node, contribution in zip(nodes.tolist(), contributions.tolist()):
+            column[node] = column.get(node, 0.0) + contribution
+        factor *= decay
+    return column

@@ -1,0 +1,155 @@
+"""Vectorised reverse (in-link) random walks.
+
+A SimRank walk at node ``v`` steps to a uniformly random *in*-neighbour of
+``v``; if ``v`` has no in-neighbours the walker dies.  The distribution of a
+walker after ``t`` steps starting from node ``i`` is exactly ``P^t e_i``
+where ``P`` is the column-normalised in-link transition matrix — the vector
+CloudWalker estimates by Monte-Carlo simulation.
+
+The functions here operate on flat NumPy arrays of walker positions so the
+whole graph's walkers can be advanced in a few vector operations per step; a
+dead walker is encoded as position ``-1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.digraph import DiGraph
+
+DEAD = -1
+
+
+def make_rng(seed: Optional[int], stream: int = 0) -> np.random.Generator:
+    """Create a deterministic random generator for a given logical stream.
+
+    CloudWalker runs many independent Monte-Carlo simulations (one per source
+    node, per query, per execution-model partition); deriving each stream
+    from ``(seed, stream)`` keeps results reproducible regardless of
+    execution order or parallelism.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(stream,)))
+
+
+def step_walkers(
+    graph: DiGraph, positions: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Advance every walker one reverse step; returns the new positions.
+
+    ``positions`` is an int64 array; entries equal to :data:`DEAD` stay dead.
+    Walkers at nodes with no in-neighbours die.
+    """
+    indptr, indices = graph.in_csr
+    new_positions = np.full_like(positions, DEAD)
+    alive = positions != DEAD
+    if not alive.any():
+        return new_positions
+    current = positions[alive]
+    starts = indptr[current]
+    degrees = indptr[current + 1] - starts
+    has_neighbors = degrees > 0
+    if has_neighbors.any():
+        chosen_offset = (
+            rng.random(int(has_neighbors.sum())) * degrees[has_neighbors]
+        ).astype(np.int64)
+        next_nodes = indices[starts[has_neighbors] + chosen_offset]
+        alive_indices = np.flatnonzero(alive)
+        new_positions[alive_indices[has_neighbors]] = next_nodes
+    return new_positions
+
+
+def walk_step_counts(
+    graph: DiGraph,
+    sources: np.ndarray,
+    walkers_per_source: int,
+    steps: int,
+    rng: np.random.Generator,
+) -> Iterator[Tuple[int, np.ndarray, np.ndarray, np.ndarray]]:
+    """Simulate walks for many sources at once, yielding per-step counts.
+
+    For every step ``t`` in ``0..steps`` the generator yields
+    ``(t, source_ids, node_ids, counts)`` where ``counts[k]`` walkers that
+    started at ``source_ids[k]`` are currently located at ``node_ids[k]``.
+    Step 0 is the trivial distribution (every walker still at its source).
+
+    The simulation advances *all* walkers of *all* sources in a single flat
+    array, which is what makes pure-Python CloudWalker indexing feasible.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    n_sources = len(sources)
+    if n_sources == 0:
+        return
+    source_index = np.repeat(np.arange(n_sources, dtype=np.int64), walkers_per_source)
+    positions = np.repeat(sources, walkers_per_source)
+
+    for t in range(steps + 1):
+        alive = positions != DEAD
+        if alive.any():
+            # Aggregate walkers per (source, node) pair.
+            keys = source_index[alive] * np.int64(graph.n_nodes) + positions[alive]
+            unique_keys, counts = np.unique(keys, return_counts=True)
+            yield (
+                t,
+                sources[(unique_keys // graph.n_nodes)],
+                (unique_keys % graph.n_nodes).astype(np.int64),
+                counts.astype(np.int64),
+            )
+        else:
+            yield (t, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+                   np.empty(0, dtype=np.int64))
+            return
+        if t < steps:
+            positions = step_walkers(graph, positions, rng)
+
+
+def single_source_walk_counts(
+    graph: DiGraph,
+    source: int,
+    walkers: int,
+    steps: int,
+    rng: np.random.Generator,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Simulate walks from one source; returns per-step (nodes, counts).
+
+    ``result[t]`` gives the empirical support of ``P^t e_source`` as a pair of
+    arrays; dividing the counts by ``walkers`` yields probabilities.
+    """
+    source = graph.check_node(source)
+    result: List[Tuple[np.ndarray, np.ndarray]] = []
+    positions = np.full(walkers, source, dtype=np.int64)
+    for t in range(steps + 1):
+        alive_positions = positions[positions != DEAD]
+        if len(alive_positions) == 0:
+            result.append((np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)))
+            # All subsequent steps are empty too.
+            for _ in range(t + 1, steps + 1):
+                result.append(
+                    (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+                )
+            return result
+        nodes, counts = np.unique(alive_positions, return_counts=True)
+        result.append((nodes.astype(np.int64), counts.astype(np.int64)))
+        if t < steps:
+            positions = step_walkers(graph, positions, rng)
+    return result
+
+
+def exact_walk_distributions(graph: DiGraph, source: int, steps: int) -> List[np.ndarray]:
+    """Exact ``P^t e_source`` for ``t = 0..steps`` (dense vectors).
+
+    Used by unit tests and by the ablation comparing Monte-Carlo estimates to
+    the exact distributions; cost is O(steps * |E|), fine for small graphs.
+    """
+    source = graph.check_node(source)
+    transition = graph.transition_matrix()
+    vector = np.zeros(graph.n_nodes, dtype=np.float64)
+    vector[source] = 1.0
+    result = [vector.copy()]
+    for _ in range(steps):
+        vector = transition @ vector
+        result.append(vector.copy())
+    return result

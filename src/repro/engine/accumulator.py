@@ -1,0 +1,60 @@
+"""Accumulators: write-only shared variables aggregated across tasks.
+
+Tasks call :meth:`Accumulator.add`; only the driver reads
+:attr:`Accumulator.value`.  The implementation is thread-safe so the thread
+backend can update accumulators concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """An associative accumulator (default: numeric sum).
+
+    Parameters
+    ----------
+    initial:
+        Starting value (also the identity of ``combine``).
+    combine:
+        Binary associative function; defaults to ``+``.
+    name:
+        Optional name shown in ``repr`` and metrics.
+    """
+
+    def __init__(
+        self,
+        initial: T,
+        combine: Callable[[T, T], T] = lambda a, b: a + b,  # type: ignore[operator]
+        name: str = "accumulator",
+    ) -> None:
+        self._value = initial
+        self._combine = combine
+        self.name = name
+        self._lock = threading.Lock()
+        self.updates = 0
+
+    def add(self, increment: T) -> None:
+        """Merge ``increment`` into the accumulator."""
+        with self._lock:
+            self._value = self._combine(self._value, increment)
+            self.updates += 1
+
+    @property
+    def value(self) -> T:
+        """Current aggregated value (driver-side read)."""
+        with self._lock:
+            return self._value
+
+    def reset(self, value: T) -> None:
+        """Reset the accumulator to ``value`` (used between jobs)."""
+        with self._lock:
+            self._value = value
+            self.updates = 0
+
+    def __repr__(self) -> str:
+        return f"Accumulator(name={self.name!r}, value={self.value!r})"

@@ -1,0 +1,84 @@
+"""Broadcast variables.
+
+A broadcast variable wraps a read-only value that every task may access.  In
+real Spark the value is shipped once to each worker machine; here all tasks
+run in one process, so the wrapper's main jobs are
+
+* to *account* how many bytes a cluster would have to ship (the cost model
+  prices one transfer per machine), and
+* to make the broadcast-vs-RDD distinction explicit in the CloudWalker
+  execution models, mirroring the paper's two implementations.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from typing import Any, Generic, Optional, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def estimate_size_bytes(value: Any) -> int:
+    """Best-effort size estimate of ``value`` in bytes.
+
+    NumPy arrays and objects exposing ``memory_bytes()`` (e.g.
+    :class:`~repro.graph.digraph.DiGraph`) are measured exactly; everything
+    else falls back to the pickled size, and finally to ``sys.getsizeof``.
+    """
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    memory_bytes = getattr(value, "memory_bytes", None)
+    if callable(memory_bytes):
+        try:
+            return int(memory_bytes())
+        except TypeError:
+            pass
+    if isinstance(value, (tuple, list)) and all(
+        isinstance(item, np.ndarray) for item in value
+    ):
+        return int(sum(item.nbytes for item in value))
+    try:
+        return len(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:  # unpicklable closures etc.
+        return int(sys.getsizeof(value))
+
+
+class Broadcast(Generic[T]):
+    """A read-only variable shared by every task of a job.
+
+    Access the wrapped value through :attr:`value`.  ``destroy()`` releases
+    the reference (subsequent access raises ``ValueError``), mirroring
+    ``Broadcast.destroy`` in Spark.
+    """
+
+    _counter = 0
+
+    def __init__(self, value: T, size_bytes: Optional[int] = None) -> None:
+        Broadcast._counter += 1
+        self.broadcast_id = Broadcast._counter
+        self._value: Optional[T] = value
+        self._destroyed = False
+        self.size_bytes = (
+            int(size_bytes) if size_bytes is not None else estimate_size_bytes(value)
+        )
+
+    @property
+    def value(self) -> T:
+        """The broadcast value."""
+        if self._destroyed:
+            raise ValueError(
+                f"broadcast variable {self.broadcast_id} has been destroyed"
+            )
+        return self._value  # type: ignore[return-value]
+
+    def destroy(self) -> None:
+        """Release the broadcast value."""
+        self._destroyed = True
+        self._value = None
+
+    def __repr__(self) -> str:
+        state = "destroyed" if self._destroyed else f"{self.size_bytes} bytes"
+        return f"Broadcast(id={self.broadcast_id}, {state})"

@@ -1,0 +1,113 @@
+"""Local execution backends for engine tasks.
+
+A *task* is a zero-argument callable producing a partition's result.  The
+scheduler hands the backend a list of tasks belonging to one stage; the
+backend returns their results in order.  Three backends are provided:
+
+``SerialBackend``
+    Runs tasks in the calling thread.  Deterministic, easiest to debug, and
+    the default (Python-level parallel speed-ups are limited by the GIL for
+    the NumPy-light portions of the workload anyway).
+``ThreadBackend``
+    A ``ThreadPoolExecutor``; effective when tasks spend their time inside
+    NumPy/SciPy kernels that release the GIL.
+``ProcessBackend``
+    A ``ProcessPoolExecutor``; requires tasks (and the data they close over)
+    to be picklable, so it is opt-in.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+Task = Callable[[], T]
+
+
+class ExecutorBackend:
+    """Interface: run a batch of tasks and return their results in order."""
+
+    name = "abstract"
+
+    def run(self, tasks: Sequence[Task]) -> List[T]:
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release any pooled resources (no-op by default)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutorBackend):
+    """Run every task sequentially in the calling thread."""
+
+    name = "serial"
+
+    def run(self, tasks: Sequence[Task]) -> List[T]:
+        return [task() for task in tasks]
+
+
+class ThreadBackend(ExecutorBackend):
+    """Run tasks on a shared thread pool."""
+
+    name = "threads"
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._pool
+
+    def run(self, tasks: Sequence[Task]) -> List[T]:
+        pool = self._ensure_pool()
+        futures = [pool.submit(task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessBackend(ExecutorBackend):
+    """Run tasks on a process pool (tasks must be picklable)."""
+
+    name = "processes"
+
+    def __init__(self, max_workers: int = 2) -> None:
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    def run(self, tasks: Sequence[Task]) -> List[T]:
+        # A fresh pool per stage keeps the implementation simple and avoids
+        # leaking workers when callers forget to shut the backend down.
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(_call, task) for task in tasks]
+            return [future.result() for future in futures]
+
+
+def _call(task: Task) -> T:
+    return task()
+
+
+def make_backend(name: str, max_workers: int = 4) -> ExecutorBackend:
+    """Factory used by :class:`~repro.engine.context.ClusterContext`."""
+    if name == "serial":
+        return SerialBackend()
+    if name == "threads":
+        return ThreadBackend(max_workers=max_workers)
+    if name == "processes":
+        return ProcessBackend(max_workers=max_workers)
+    raise ConfigurationError(
+        f"unknown backend {name!r}; expected 'serial', 'threads' or 'processes'"
+    )

@@ -1,0 +1,131 @@
+"""Execution metrics collected by the DAG scheduler.
+
+Every job run through :class:`~repro.engine.scheduler.DAGScheduler` produces
+a :class:`JobMetrics` record: per-task wall-clock, per-stage record counts
+and shuffle volume, plus the broadcast traffic registered on the context.
+The :class:`~repro.engine.cost_model.ClusterCostModel` consumes these records
+to estimate what the same job would cost on a simulated cluster, which is how
+the benchmark harness reproduces the paper's cluster-scale tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class TaskMetrics:
+    """Metrics for one task (one partition of one stage)."""
+
+    stage_name: str
+    partition: int
+    duration_seconds: float
+    input_records: int
+    output_records: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage_name": self.stage_name,
+            "partition": self.partition,
+            "duration_seconds": self.duration_seconds,
+            "input_records": self.input_records,
+            "output_records": self.output_records,
+        }
+
+
+@dataclass
+class StageMetrics:
+    """Aggregated metrics for one stage of a job."""
+
+    name: str
+    kind: str  # "narrow", "shuffle-map", "shuffle-reduce", "collect"
+    tasks: List[TaskMetrics] = field(default_factory=list)
+    shuffle_bytes: int = 0
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_task_seconds(self) -> float:
+        """Sum of task durations — the work a cluster would parallelise."""
+        return sum(task.duration_seconds for task in self.tasks)
+
+    @property
+    def max_task_seconds(self) -> float:
+        """Slowest task — a lower bound on the stage's parallel wall-clock."""
+        if not self.tasks:
+            return 0.0
+        return max(task.duration_seconds for task in self.tasks)
+
+    @property
+    def input_records(self) -> int:
+        return sum(task.input_records for task in self.tasks)
+
+    @property
+    def output_records(self) -> int:
+        return sum(task.output_records for task in self.tasks)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "num_tasks": self.num_tasks,
+            "total_task_seconds": self.total_task_seconds,
+            "max_task_seconds": self.max_task_seconds,
+            "shuffle_bytes": self.shuffle_bytes,
+            "input_records": self.input_records,
+            "output_records": self.output_records,
+        }
+
+
+@dataclass
+class JobMetrics:
+    """Metrics for a complete job (one action)."""
+
+    job_id: int
+    action: str
+    stages: List[StageMetrics] = field(default_factory=list)
+    broadcast_bytes: int = 0
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def num_tasks(self) -> int:
+        return sum(stage.num_tasks for stage in self.stages)
+
+    @property
+    def total_task_seconds(self) -> float:
+        return sum(stage.total_task_seconds for stage in self.stages)
+
+    @property
+    def total_shuffle_bytes(self) -> int:
+        return sum(stage.shuffle_bytes for stage in self.stages)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "job_id": self.job_id,
+            "action": self.action,
+            "num_stages": self.num_stages,
+            "num_tasks": self.num_tasks,
+            "total_task_seconds": self.total_task_seconds,
+            "total_shuffle_bytes": self.total_shuffle_bytes,
+            "broadcast_bytes": self.broadcast_bytes,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+
+def merge_job_metrics(jobs: List[JobMetrics], action: str = "merged") -> JobMetrics:
+    """Merge several job records into one (used to summarise multi-job phases,
+    e.g. the whole offline indexing pipeline)."""
+    merged = JobMetrics(job_id=-1, action=action)
+    for job in jobs:
+        merged.stages.extend(job.stages)
+        merged.broadcast_bytes += job.broadcast_bytes
+        merged.wall_clock_seconds += job.wall_clock_seconds
+    return merged

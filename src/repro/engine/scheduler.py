@@ -1,0 +1,219 @@
+"""DAG scheduler: turns RDD lineage into stages and runs them locally.
+
+The scheduler materialises RDDs bottom-up.  Narrow chains are fused into a
+single stage per RDD level; a :class:`~repro.engine.rdd.ShuffledRDD` becomes
+two stages (shuffle-map and shuffle-reduce), exactly the boundary Spark
+introduces.  Every task is timed and counted so the
+:class:`~repro.engine.cost_model.ClusterCostModel` can replay the job on a
+simulated cluster.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from typing import Any, Dict, List
+
+from repro.engine.executor import ExecutorBackend
+from repro.engine.metrics import JobMetrics, StageMetrics, TaskMetrics
+from repro.engine.rdd import RDD, ShuffledRDD
+from repro.errors import JobExecutionError
+
+
+def estimate_records_bytes(partitions: List[List[Any]], sample_size: int = 20) -> int:
+    """Estimate the serialised size of a set of partitions.
+
+    Pickles a small sample of records and extrapolates; good enough for the
+    cost model, cheap enough to run on every shuffle.
+    """
+    total_records = sum(len(partition) for partition in partitions)
+    if total_records == 0:
+        return 0
+    sample: List[Any] = []
+    for partition in partitions:
+        for record in partition:
+            sample.append(record)
+            if len(sample) >= sample_size:
+                break
+        if len(sample) >= sample_size:
+            break
+    try:
+        sample_bytes = len(pickle.dumps(sample, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        sample_bytes = 64 * len(sample)
+    per_record = sample_bytes / max(len(sample), 1)
+    return int(per_record * total_records)
+
+
+class DAGScheduler:
+    """Executes RDD lineages on a local backend, collecting metrics."""
+
+    def __init__(self, backend: ExecutorBackend) -> None:
+        self.backend = backend
+
+    # ------------------------------------------------------------------ #
+    def run(self, rdd: RDD, action: str, job_id: int,
+            persistent_cache: Dict[int, List[List[Any]]],
+            broadcast_bytes: int = 0) -> tuple[List[List[Any]], JobMetrics]:
+        """Materialise ``rdd`` and return (partitions, metrics)."""
+        metrics = JobMetrics(job_id=job_id, action=action,
+                             broadcast_bytes=broadcast_bytes)
+        started = time.perf_counter()
+        memo: Dict[int, List[List[Any]]] = {}
+        partitions = self._materialize(rdd, memo, persistent_cache, metrics)
+        metrics.wall_clock_seconds = time.perf_counter() - started
+        return partitions, metrics
+
+    # ------------------------------------------------------------------ #
+    def _materialize(
+        self,
+        rdd: RDD,
+        memo: Dict[int, List[List[Any]]],
+        persistent_cache: Dict[int, List[List[Any]]],
+        metrics: JobMetrics,
+    ) -> List[List[Any]]:
+        if rdd.rdd_id in memo:
+            return memo[rdd.rdd_id]
+        if rdd.rdd_id in persistent_cache:
+            memo[rdd.rdd_id] = persistent_cache[rdd.rdd_id]
+            return memo[rdd.rdd_id]
+
+        if isinstance(rdd, ShuffledRDD):
+            partitions = self._run_shuffle(rdd, memo, persistent_cache, metrics)
+        else:
+            partitions = self._run_narrow(rdd, memo, persistent_cache, metrics)
+
+        memo[rdd.rdd_id] = partitions
+        if rdd.persisted:
+            persistent_cache[rdd.rdd_id] = partitions
+        return partitions
+
+    # ------------------------------------------------------------------ #
+    def _run_narrow(
+        self,
+        rdd: RDD,
+        memo: Dict[int, List[List[Any]]],
+        persistent_cache: Dict[int, List[List[Any]]],
+        metrics: JobMetrics,
+    ) -> List[List[Any]]:
+        parent_partitions = [
+            self._materialize(parent, memo, persistent_cache, metrics)
+            for parent in rdd.parents
+        ]
+        stage = StageMetrics(name=f"{rdd.name}#{rdd.rdd_id}", kind="narrow")
+
+        def make_task(index: int):
+            def task():
+                dependencies = rdd.partition_dependencies(index)
+                parent_data = [
+                    parent_partitions[parent_pos][parent_part]
+                    for parent_pos, parent_part in dependencies
+                ]
+                input_records = sum(len(chunk) for chunk in parent_data)
+                start = time.perf_counter()
+                try:
+                    result = rdd.compute_partition(index, parent_data)
+                except Exception as exc:  # surface which task failed
+                    raise JobExecutionError(stage.name, index, exc) from exc
+                duration = time.perf_counter() - start
+                return result, TaskMetrics(
+                    stage_name=stage.name,
+                    partition=index,
+                    duration_seconds=duration,
+                    input_records=input_records,
+                    output_records=len(result),
+                )
+
+            return task
+
+        tasks = [make_task(index) for index in range(rdd.num_partitions)]
+        outcomes = self.backend.run(tasks)
+        partitions = []
+        for result, task_metrics in outcomes:
+            partitions.append(result)
+            stage.tasks.append(task_metrics)
+        metrics.stages.append(stage)
+        return partitions
+
+    # ------------------------------------------------------------------ #
+    def _run_shuffle(
+        self,
+        rdd: ShuffledRDD,
+        memo: Dict[int, List[List[Any]]],
+        persistent_cache: Dict[int, List[List[Any]]],
+        metrics: JobMetrics,
+    ) -> List[List[Any]]:
+        parent = rdd.parents[0]
+        parent_partitions = self._materialize(parent, memo, persistent_cache, metrics)
+
+        # --- shuffle-map stage ------------------------------------------ #
+        map_stage = StageMetrics(name=f"{rdd.name}#map#{rdd.rdd_id}", kind="shuffle-map")
+
+        def make_map_task(index: int):
+            def task():
+                records = parent_partitions[index]
+                start = time.perf_counter()
+                try:
+                    buckets = rdd.map_side(records)
+                except Exception as exc:
+                    raise JobExecutionError(map_stage.name, index, exc) from exc
+                duration = time.perf_counter() - start
+                output_records = sum(len(bucket) for bucket in buckets)
+                return buckets, TaskMetrics(
+                    stage_name=map_stage.name,
+                    partition=index,
+                    duration_seconds=duration,
+                    input_records=len(records),
+                    output_records=output_records,
+                )
+
+            return task
+
+        map_outcomes = self.backend.run(
+            [make_map_task(index) for index in range(parent.num_partitions)]
+        )
+        all_buckets = []
+        for buckets, task_metrics in map_outcomes:
+            all_buckets.append(buckets)
+            map_stage.tasks.append(task_metrics)
+        # Shuffle volume: everything the map side emits crosses the network
+        # (minus what stays machine-local; the cost model discounts that).
+        map_stage.shuffle_bytes = estimate_records_bytes(
+            [list(bucket.items()) for buckets in all_buckets for bucket in buckets]
+        )
+        metrics.stages.append(map_stage)
+
+        # --- shuffle-reduce stage --------------------------------------- #
+        reduce_stage = StageMetrics(
+            name=f"{rdd.name}#reduce#{rdd.rdd_id}", kind="shuffle-reduce"
+        )
+
+        def make_reduce_task(target: int):
+            def task():
+                incoming = [buckets[target] for buckets in all_buckets]
+                input_records = sum(len(bucket) for bucket in incoming)
+                start = time.perf_counter()
+                try:
+                    result = rdd.reduce_side(incoming)
+                except Exception as exc:
+                    raise JobExecutionError(reduce_stage.name, target, exc) from exc
+                duration = time.perf_counter() - start
+                return result, TaskMetrics(
+                    stage_name=reduce_stage.name,
+                    partition=target,
+                    duration_seconds=duration,
+                    input_records=input_records,
+                    output_records=len(result),
+                )
+
+            return task
+
+        reduce_outcomes = self.backend.run(
+            [make_reduce_task(target) for target in range(rdd.num_partitions)]
+        )
+        partitions = []
+        for result, task_metrics in reduce_outcomes:
+            partitions.append(result)
+            reduce_stage.tasks.append(task_metrics)
+        metrics.stages.append(reduce_stage)
+        return partitions

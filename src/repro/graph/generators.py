@@ -1,0 +1,293 @@
+"""Synthetic directed-graph generators.
+
+The paper evaluates CloudWalker on five web/social graphs (wiki-vote,
+wiki-talk, twitter-2010, uk-union, clue-web).  Those datasets are not
+shippable here, so :mod:`repro.graph.datasets` builds laptop-scale stand-ins
+from the generators in this module.  The generators aim for the structural
+properties that matter to SimRank-style random walks:
+
+* heavy-tailed in-degree distributions (power-law / preferential attachment),
+* a non-trivial fraction of nodes with zero in-degree (walk absorption),
+* locally dense neighbourhoods (copying model).
+
+All generators are deterministic given ``seed``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.digraph import DiGraph
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def erdos_renyi_graph(n: int, avg_degree: float, seed: Optional[int] = None,
+                      name: str = "erdos-renyi") -> DiGraph:
+    """Directed Erdős–Rényi graph with expected out-degree ``avg_degree``.
+
+    Edges are sampled by drawing ``round(n * avg_degree)`` random (src, dst)
+    pairs; duplicates are removed by :class:`DiGraph`, so the realised edge
+    count can be slightly lower than the target.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if avg_degree < 0:
+        raise ConfigurationError(f"avg_degree must be >= 0, got {avg_degree}")
+    rng = _rng(seed)
+    m = int(round(n * avg_degree))
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    dst = rng.integers(0, n, size=m, dtype=np.int64)
+    keep = src != dst
+    edges = np.column_stack([src[keep], dst[keep]])
+    return DiGraph(n, edges, name=name)
+
+
+def preferential_attachment_graph(
+    n: int, out_degree: int, seed: Optional[int] = None,
+    name: str = "preferential-attachment",
+) -> DiGraph:
+    """Directed Barabási–Albert-style graph.
+
+    Nodes arrive one at a time; each new node emits ``out_degree`` edges whose
+    targets are chosen proportionally to (1 + current in-degree), which
+    produces a power-law in-degree distribution similar to web graphs.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if out_degree < 1:
+        raise ConfigurationError(f"out_degree must be >= 1, got {out_degree}")
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = []
+    # Repeated-targets list implements preferential attachment in O(1)/draw.
+    targets: List[int] = [0]
+    for src in range(1, n):
+        k = min(out_degree, src)
+        picks = rng.integers(0, len(targets), size=k)
+        for pick in picks:
+            dst = targets[pick]
+            if dst != src:
+                edges.append((src, dst))
+                targets.append(dst)
+        targets.append(src)
+    return DiGraph(n, edges, name=name)
+
+
+def power_law_graph(
+    n: int,
+    avg_degree: float,
+    exponent: float = 2.2,
+    seed: Optional[int] = None,
+    name: str = "power-law",
+) -> DiGraph:
+    """Directed configuration-model graph with power-law in-degrees.
+
+    In-degree targets are drawn from a discrete power law with the given
+    ``exponent`` and rescaled so the mean matches ``avg_degree``; sources are
+    drawn uniformly.  This mimics the skew of web-crawl in-link counts, the
+    property that drives SimRank walk behaviour.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if avg_degree <= 0:
+        raise ConfigurationError(f"avg_degree must be > 0, got {avg_degree}")
+    if exponent <= 1.0:
+        raise ConfigurationError(f"exponent must be > 1, got {exponent}")
+    rng = _rng(seed)
+    # Pareto-distributed raw weights, clipped so no node takes over the graph.
+    raw = rng.pareto(exponent - 1.0, size=n) + 1.0
+    raw = np.minimum(raw, n / 4.0)
+    weights = raw / raw.sum()
+    m = int(round(n * avg_degree))
+    dst = rng.choice(n, size=m, p=weights)
+    src = rng.integers(0, n, size=m, dtype=np.int64)
+    keep = src != dst
+    edges = np.column_stack([src[keep], dst[keep]])
+    return DiGraph(n, edges, name=name)
+
+
+def copying_model_graph(
+    n: int,
+    out_degree: int = 8,
+    copy_prob: float = 0.5,
+    seed: Optional[int] = None,
+    name: str = "copying-model",
+) -> DiGraph:
+    """Kleinberg-style copying model: web-like graph with shared in-links.
+
+    Each new node picks a random "prototype" node and, for each of its
+    ``out_degree`` edges, either copies one of the prototype's out-links
+    (probability ``copy_prob``) or links to a uniformly random earlier node.
+    Copying creates many node pairs with common in-neighbours, which is
+    exactly the structure SimRank scores highly — useful for effectiveness
+    experiments.
+    """
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    if out_degree < 1:
+        raise ConfigurationError(f"out_degree must be >= 1, got {out_degree}")
+    if not 0.0 <= copy_prob <= 1.0:
+        raise ConfigurationError(f"copy_prob must be in [0, 1], got {copy_prob}")
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = []
+    out_lists: List[List[int]] = [[] for _ in range(n)]
+    # Seed the process with a small cycle so early nodes have out-links.
+    seed_size = min(out_degree + 1, n)
+    for node in range(seed_size):
+        dst = (node + 1) % seed_size
+        if dst != node:
+            edges.append((node, dst))
+            out_lists[node].append(dst)
+    for src in range(seed_size, n):
+        prototype = int(rng.integers(0, src))
+        proto_links = out_lists[prototype]
+        for _ in range(min(out_degree, src)):
+            if proto_links and rng.random() < copy_prob:
+                dst = int(proto_links[int(rng.integers(0, len(proto_links)))])
+            else:
+                dst = int(rng.integers(0, src))
+            if dst != src:
+                edges.append((src, dst))
+                out_lists[src].append(dst)
+    return DiGraph(n, edges, name=name)
+
+
+def community_graph(
+    n_communities: int,
+    community_size: int,
+    p_in: float = 0.3,
+    p_out: float = 0.01,
+    seed: Optional[int] = None,
+    name: str = "community",
+) -> DiGraph:
+    """Planted-partition directed graph with known community structure.
+
+    Used by the effectiveness benchmark (figure F3): node pairs inside the
+    same community form the ground-truth "similar" pairs against which
+    SimRank and co-citation rankings are scored.
+    """
+    if n_communities < 1 or community_size < 2:
+        raise ConfigurationError(
+            "community_graph needs n_communities >= 1 and community_size >= 2"
+        )
+    if not (0.0 <= p_out <= p_in <= 1.0):
+        raise ConfigurationError(
+            f"expected 0 <= p_out <= p_in <= 1, got p_in={p_in}, p_out={p_out}"
+        )
+    rng = _rng(seed)
+    n = n_communities * community_size
+    edges: List[Tuple[int, int]] = []
+    community = np.repeat(np.arange(n_communities), community_size)
+    # Sample intra-community edges densely and inter-community edges sparsely.
+    for src in range(n):
+        same = np.flatnonzero(community == community[src])
+        other = np.flatnonzero(community != community[src])
+        intra = same[rng.random(len(same)) < p_in]
+        inter = other[rng.random(len(other)) < p_out]
+        for dst in np.concatenate([intra, inter]):
+            if int(dst) != src:
+                edges.append((src, int(dst)))
+    graph = DiGraph(n, edges, name=name)
+    return graph
+
+
+def hierarchical_citation_graph(
+    n_categories: int = 8,
+    items_per_category: int = 30,
+    users_per_category: int = 50,
+    picks_per_user: int = 2,
+    noise: float = 0.1,
+    seed: Optional[int] = None,
+    name: str = "hierarchical-citation",
+) -> Tuple[DiGraph, np.ndarray]:
+    """Two-level citation graph where similarity is *indirect*.
+
+    Three layers of nodes:
+
+    * items ``0 .. n_categories * items_per_category - 1`` (the query targets),
+    * users, each affiliated with one category, who cite ``picks_per_user``
+      items (mostly from their own category, sometimes random noise),
+    * one group node per category pointing at its users.
+
+    Items of the same category are rarely cited by the *same* user (users
+    cite only a couple of items each), so co-citation between them is mostly
+    zero; but they are cited by *similar* users (users sharing a group), which
+    SimRank's recursive definition picks up.  This is exactly the
+    "similar if referenced by similar objects" behaviour the paper's
+    motivation highlights, and the effectiveness benchmark (F3) uses this
+    generator as its ground-truth workload.
+
+    Returns
+    -------
+    (graph, item_categories):
+        The graph and an array giving the category of every item node.
+    """
+    if n_categories < 2 or items_per_category < 2 or users_per_category < 1:
+        raise ConfigurationError(
+            "hierarchical_citation_graph needs >= 2 categories, >= 2 items per "
+            "category and >= 1 user per category"
+        )
+    if picks_per_user < 1:
+        raise ConfigurationError(f"picks_per_user must be >= 1, got {picks_per_user}")
+    if not 0.0 <= noise <= 1.0:
+        raise ConfigurationError(f"noise must be in [0, 1], got {noise}")
+    rng = _rng(seed)
+    n_items = n_categories * items_per_category
+    n_users = n_categories * users_per_category
+    edges: List[Tuple[int, int]] = []
+    for user in range(n_users):
+        category = user % n_categories
+        user_node = n_items + user
+        group_node = n_items + n_users + category
+        edges.append((group_node, user_node))
+        for _ in range(picks_per_user):
+            if rng.random() < noise:
+                item = int(rng.integers(0, n_items))
+            else:
+                item = category * items_per_category + int(
+                    rng.integers(0, items_per_category)
+                )
+            edges.append((user_node, item))
+    graph = DiGraph(n_items + n_users + n_categories, edges, name=name)
+    item_categories = np.repeat(np.arange(n_categories), items_per_category)
+    return graph, item_categories
+
+
+def star_graph(n_leaves: int, name: str = "star") -> DiGraph:
+    """Star graph: every leaf points to the hub (node 0).
+
+    All leaves share the hub as their only in-link target's source — handy in
+    unit tests because every pair of leaves has SimRank exactly ``c``.
+    """
+    if n_leaves < 1:
+        raise ConfigurationError(f"n_leaves must be >= 1, got {n_leaves}")
+    edges = [(0, leaf) for leaf in range(1, n_leaves + 1)]
+    return DiGraph(n_leaves + 1, edges, name=name)
+
+
+def cycle_graph(n: int, name: str = "cycle") -> DiGraph:
+    """Directed cycle 0 -> 1 -> ... -> n-1 -> 0."""
+    if n < 2:
+        raise ConfigurationError(f"n must be >= 2, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return DiGraph(n, edges, name=name)
+
+
+def complete_bipartite_graph(n_left: int, n_right: int,
+                             name: str = "complete-bipartite") -> DiGraph:
+    """Complete bipartite digraph: every left node points to every right node.
+
+    Every pair of right nodes has identical in-neighbour sets, so their
+    SimRank converges to a known closed form — used by correctness tests.
+    """
+    if n_left < 1 or n_right < 1:
+        raise ConfigurationError("both sides must have at least one node")
+    edges = [
+        (left, n_left + right) for left in range(n_left) for right in range(n_right)
+    ]
+    return DiGraph(n_left + n_right, edges, name=name)

@@ -1,0 +1,95 @@
+"""Tests for the ablation sweeps and index validation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ablation
+from repro.analysis.validation import ValidationIssue, validate_index
+from repro.config import SimRankParams
+from repro.core.diagonal import build_diagonal_index
+from repro.core.index import BuildInfo, DiagonalIndex
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(45, out_degree=4, seed=29)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=4,
+                         index_walkers=100, query_walkers=400, seed=6)
+
+
+class TestAblationSweeps:
+    def test_index_walker_sweep_monotone_error(self, graph, params):
+        rows = ablation.index_walker_sweep(graph, [20, 500], params=params)
+        assert [row["index_walkers"] for row in rows] == [20, 500]
+        assert rows[1]["diag_mean_abs_error"] <= rows[0]["diag_mean_abs_error"]
+        assert all(row["build_seconds"] > 0 for row in rows)
+
+    def test_walk_steps_sweep_truncation_error_shrinks(self, graph, params):
+        rows = ablation.walk_steps_sweep(graph, [1, 8], params=params, reference_steps=12)
+        assert rows[1]["simrank_mean_abs_error"] <= rows[0]["simrank_mean_abs_error"]
+
+    def test_query_walker_sweep(self, graph, params):
+        rows = ablation.query_walker_sweep(graph, [20, 2000], params=params, n_pairs=10)
+        assert rows[1]["mean_abs_error"] <= rows[0]["mean_abs_error"] + 1e-9
+        assert all(row["mean_query_seconds"] > 0 for row in rows)
+
+    def test_solver_sweep_contains_all_solvers(self, graph, params):
+        rows = ablation.solver_sweep(graph, params=params)
+        assert {row["solver"] for row in rows} == {"jacobi", "gauss-seidel", "exact"}
+        by_solver = {row["solver"]: row for row in rows}
+        assert by_solver["exact"]["diag_mean_abs_error"] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestValidation:
+    def test_valid_index_passes(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        report = validate_index(graph, index, spot_check_pairs=10)
+        assert report.ok
+        assert not report.errors()
+        assert "diag_min" in report.checks
+        assert "spot_check_mean_abs_error" in report.checks
+
+    def test_node_count_mismatch_is_error(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        other = generators.cycle_graph(10)
+        report = validate_index(other, index)
+        assert not report.ok
+        assert report.errors()
+
+    def test_nonpositive_diagonal_is_error(self, graph, params):
+        bad_diag = np.full(graph.n_nodes, 0.5)
+        bad_diag[3] = -0.1
+        index = DiagonalIndex(
+            diagonal=bad_diag, params=params, graph_name=graph.name,
+            n_nodes=graph.n_nodes, n_edges=graph.n_edges,
+            build_info=BuildInfo(jacobi_residual=0.01),
+        )
+        report = validate_index(graph, index, spot_check_pairs=0)
+        assert not report.ok
+
+    def test_large_residual_is_warning(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        index.build_info.jacobi_residual = 0.5
+        report = validate_index(graph, index, spot_check_pairs=0)
+        assert report.ok
+        assert report.warnings()
+
+    def test_zero_in_degree_deviation_warning(self, params):
+        from repro.graph.digraph import DiGraph
+
+        chain = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        index = build_diagonal_index(chain, params)
+        # Corrupt the entry for the source node (no in-links -> must be 1.0).
+        index.diagonal[0] = 0.3
+        report = validate_index(chain, index, spot_check_pairs=0)
+        assert any("no in-links" in issue.message for issue in report.warnings())
+
+    def test_issue_str(self):
+        issue = ValidationIssue("warning", "something")
+        assert "warning" in str(issue)
+        assert "something" in str(issue)

@@ -1,0 +1,152 @@
+"""Tests for the FMT and LIN baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fmt import FMTIndex
+from repro.baselines.lin import LinSimRank
+from repro.baselines.naive_simrank import naive_simrank
+from repro.config import SimRankParams
+from repro.errors import CapacityExceededError, IndexNotBuiltError
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(60, out_degree=4, copy_prob=0.6, seed=19)
+
+
+@pytest.fixture(scope="module")
+def ground_truth(graph):
+    return naive_simrank(graph, c=0.6, iterations=60, tolerance=1e-10)
+
+
+@pytest.fixture(scope="module")
+def fmt(graph):
+    return FMTIndex(graph, num_fingerprints=400, steps=8, c=0.6, seed=3).build()
+
+
+@pytest.fixture(scope="module")
+def lin(graph):
+    params = SimRankParams(c=0.6, walk_steps=10, seed=1)
+    return LinSimRank(graph, params=params, solver_iterations=30).build()
+
+
+class TestFMT:
+    def test_build_records_time_and_state(self, fmt):
+        assert fmt.is_built
+        assert fmt.build_seconds > 0
+
+    def test_query_before_build_raises(self, graph):
+        with pytest.raises(IndexNotBuiltError):
+            FMTIndex(graph).single_pair(0, 1)
+
+    def test_self_similarity(self, fmt):
+        assert fmt.single_pair(4, 4) == 1.0
+        assert fmt.single_source(4)[4] == 1.0
+
+    def test_single_pair_tracks_ground_truth(self, fmt, ground_truth):
+        rng = np.random.default_rng(2)
+        errors = []
+        for _ in range(20):
+            i, j = rng.integers(0, ground_truth.shape[0], size=2)
+            errors.append(abs(fmt.single_pair(int(i), int(j)) - ground_truth[i, j]))
+        # First-meeting coupling is an approximation; it must correlate well
+        # even if individual pairs are noisy.
+        assert np.mean(errors) < 0.05
+
+    def test_single_source_consistent_with_single_pair(self, fmt):
+        scores = fmt.single_source(7)
+        for j in (0, 3, 11):
+            assert scores[j] == pytest.approx(fmt.single_pair(7, j), abs=1e-9)
+
+    def test_batched_single_source_matches_naive_loop(self, fmt):
+        assert np.allclose(fmt.single_source(9), fmt.single_source_batched(9))
+
+    def test_single_source_ranking_close_to_ground_truth(self, fmt, ground_truth):
+        scores = fmt.single_source_batched(5)
+        truth = ground_truth[5].copy()
+        scores[5] = truth[5] = -np.inf
+        top_est = set(np.argsort(-scores)[:5].tolist())
+        top_truth = set(np.argsort(-truth)[:5].tolist())
+        assert len(top_est & top_truth) >= 2
+
+    def test_top_k(self, fmt):
+        ranking = fmt.top_k(3, k=5)
+        assert len(ranking) <= 5
+        scores = [s for _n, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_memory_limit_enforced(self, graph):
+        small_budget = FMTIndex(graph, num_fingerprints=1000, steps=10,
+                                memory_limit_bytes=1000)
+        with pytest.raises(CapacityExceededError):
+            small_budget.build()
+
+    def test_estimated_index_bytes(self, graph):
+        index = FMTIndex(graph, num_fingerprints=10, steps=4)
+        assert index.estimated_index_bytes() == 4 * graph.n_nodes * 10 * 5
+
+    def test_deterministic_given_seed(self, graph):
+        a = FMTIndex(graph, num_fingerprints=50, steps=5, seed=9).build()
+        b = FMTIndex(graph, num_fingerprints=50, steps=5, seed=9).build()
+        assert a.single_pair(1, 7) == b.single_pair(1, 7)
+
+    def test_walk_absorption_on_star(self):
+        star = generators.star_graph(5)
+        index = FMTIndex(star, num_fingerprints=50, steps=4, c=0.6, seed=1).build()
+        # Leaves meet at the hub after one step with certainty: s = c.
+        assert index.single_pair(1, 2) == pytest.approx(0.6)
+        # The hub never meets anyone (no in-links).
+        assert index.single_pair(0, 1) == 0.0
+
+
+class TestLIN:
+    def test_build_records_time(self, lin):
+        assert lin.is_built
+        assert lin.build_seconds > 0
+
+    def test_query_before_build_raises(self, graph):
+        with pytest.raises(IndexNotBuiltError):
+            LinSimRank(graph).single_pair(0, 1)
+
+    def test_max_nodes_guard(self):
+        big = generators.power_law_graph(200, avg_degree=3, seed=1)
+        with pytest.raises(CapacityExceededError):
+            LinSimRank(big, max_nodes=100).build()
+
+    def test_single_pair_matches_ground_truth(self, lin, ground_truth):
+        rng = np.random.default_rng(4)
+        for _ in range(20):
+            i, j = rng.integers(0, ground_truth.shape[0], size=2)
+            assert lin.single_pair(int(i), int(j)) == pytest.approx(
+                ground_truth[i, j], abs=0.01
+            )
+
+    def test_single_source_matches_ground_truth(self, lin, ground_truth):
+        scores = lin.single_source(9)
+        assert np.abs(scores - ground_truth[9]).max() < 0.01
+
+    def test_self_similarity(self, lin):
+        assert lin.single_pair(2, 2) == 1.0
+        assert lin.single_source(2)[2] == 1.0
+
+    def test_top_k_ordering(self, lin):
+        ranking = lin.top_k(6, k=5)
+        scores = [s for _n, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+        assert all(node != 6 for node, _s in ranking)
+
+    def test_lin_and_cloudwalker_agree(self, graph, lin):
+        """LIN and CloudWalker approximate the same linearization."""
+        from repro.core.diagonal import build_diagonal_index
+        from repro.core.queries import QueryEngine
+
+        params = SimRankParams(c=0.6, walk_steps=10, jacobi_iterations=5,
+                               index_walkers=1500, seed=8)
+        index = build_diagonal_index(graph, params)
+        engine = QueryEngine(graph, index, params)
+        for i, j in [(0, 5), (3, 17), (8, 41)]:
+            assert engine.exact_single_pair(i, j) == pytest.approx(
+                lin.single_pair(i, j), abs=0.03
+            )

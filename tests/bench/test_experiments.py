@@ -1,0 +1,110 @@
+"""Tests for the experiment implementations (small/cheap configurations).
+
+These tests exercise the same code the ``benchmarks/`` suite runs, on the
+smallest configurations, so regressions in the reproduction pipeline are
+caught by ``pytest tests/`` without paying the full benchmark cost.
+"""
+
+import pytest
+
+from repro.bench import experiments
+
+
+class TestDatasetAndParameterTables:
+    def test_dataset_table_small_tier(self):
+        result = experiments.dataset_table(max_tier="small")
+        assert result["experiment"] == "T1-datasets"
+        names = [row["dataset"] for row in result["rows"]]
+        assert names == ["wiki-vote", "wiki-talk"]
+        for row in result["rows"]:
+            assert row["standin_nodes"] > 0
+            assert row["edge_scale_factor"] > 1
+
+    def test_parameter_table_matches_paper(self):
+        rows = experiments.parameter_table()["rows"]
+        values = {row["parameter"]: row["value"] for row in rows}
+        assert values == {"c": 0.6, "T": 10, "L": 3, "R": 100, "R'": 10_000}
+
+
+class TestExecutionModelTables:
+    def test_broadcasting_table_small(self):
+        result = experiments.execution_model_table(
+            "broadcasting", max_tier="small", pair_queries=1, source_queries=1
+        )
+        assert result["model"] == "broadcasting"
+        assert len(result["rows"]) == 2
+        for row in result["rows"]:
+            assert row["D_seconds"] > 0
+            assert row["MCSP_seconds"] > 0
+            assert row["MCSS_seconds"] > 0
+            assert row["cluster_D_seconds"] > 0
+            assert row["index_walkers"] == 100
+
+    def test_rdd_table_small(self):
+        result = experiments.execution_model_table(
+            "rdd", max_tier="small", pair_queries=1, source_queries=1
+        )
+        assert result["model"] == "rdd"
+        for row in result["rows"]:
+            assert row["shuffle_bytes"] > 0
+            assert row["D_seconds"] > 0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            experiments.execution_model_table("mapreduce", max_tier="small")
+
+
+class TestComparisonTable:
+    def test_small_tier_shape(self):
+        result = experiments.comparison_table(
+            max_tier="small", pair_queries=1, source_queries=1
+        )
+        rows = {row["dataset"]: row for row in result["rows"]}
+        # CloudWalker always runs.
+        assert rows["wiki-vote"]["cloudwalker_prep"] > 0
+        assert rows["wiki-talk"]["cloudwalker_prep"] > 0
+        # FMT hits its memory wall on wiki-talk (paper's N/A).
+        assert rows["wiki-vote"]["fmt_prep"] is not None
+        assert rows["wiki-talk"]["fmt_prep"] is None
+        # LIN runs on both small datasets.
+        assert rows["wiki-vote"]["lin_prep"] is not None
+        # FMT single-source is much slower than CloudWalker's MCSS.
+        assert rows["wiki-vote"]["fmt_ss"] > rows["wiki-vote"]["cloudwalker_ss"]
+
+
+class TestConvergenceExperiment:
+    def test_sweeps_have_expected_shape(self):
+        result = experiments.convergence_experiment(
+            dataset="wiki-vote", jacobi_iterations=[0, 1, 3], walker_counts=[10, 100]
+        )
+        assert [row["jacobi_iterations"] for row in result["iteration_sweep"]] == [0, 1, 3]
+        assert [row["index_walkers"] for row in result["walker_sweep"]] == [10, 100]
+        by_l = {row["jacobi_iterations"]: row for row in result["iteration_sweep"]}
+        assert by_l[3]["diag_mean_abs_error"] < by_l[0]["diag_mean_abs_error"]
+        solvers = {row["solver"] for row in result["solver_ablation"]}
+        assert solvers == {"jacobi", "gauss-seidel", "exact"}
+
+
+class TestScalabilityExperiment:
+    def test_small_sweep(self):
+        result = experiments.scalability_experiment(
+            graph_sizes=[300, 600], machine_counts=[1, 4]
+        )
+        assert len(result["size_sweep"]) == 2
+        for row in result["size_sweep"]:
+            assert row["broadcast_seconds"] < row["rdd_seconds"]
+        machine_rows = result["machine_sweep"]
+        assert machine_rows[-1]["broadcast_cluster_seconds"] <= machine_rows[0]["broadcast_cluster_seconds"]
+        paper_rows = {row["dataset"]: row for row in result["paper_scale"]}
+        assert not paper_rows["clue-web"]["broadcast_feasible"]
+        assert paper_rows["clue-web"]["rdd_feasible"]
+
+
+class TestEffectivenessExperiment:
+    def test_simrank_beats_cocitation(self):
+        result = experiments.effectiveness_experiment(
+            n_categories=4, items_per_category=15, users_per_category=25, top_k=5
+        )
+        precision = {row["method"]: row["precision_at_k"] for row in result["rows"]}
+        assert precision["SimRank (CloudWalker exact eval)"] > precision["Co-citation"]
+        assert 0.0 <= result["mcss_vs_exact_rank_overlap"] <= 1.0

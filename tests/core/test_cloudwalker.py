@@ -1,0 +1,127 @@
+"""Tests for the CloudWalker facade."""
+
+import numpy as np
+import pytest
+
+from repro import CloudWalker, SimRankParams
+from repro.errors import ConfigurationError, IndexNotBuiltError
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(70, out_degree=4, seed=30)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams.fast_defaults().with_(seed=9)
+
+
+@pytest.fixture(scope="module")
+def indexed_walker(graph, params):
+    walker = CloudWalker(graph, params=params)
+    walker.build_index()
+    return walker
+
+
+class TestFacadeLifecycle:
+    def test_top_level_import(self):
+        import repro
+
+        assert repro.CloudWalker is CloudWalker
+        assert repro.__version__
+
+    def test_requires_index_before_query(self, graph, params):
+        walker = CloudWalker(graph, params=params)
+        assert not walker.is_indexed
+        with pytest.raises(IndexNotBuiltError):
+            walker.single_pair(0, 1)
+        with pytest.raises(IndexNotBuiltError):
+            walker.save_index("/tmp/never-written.npz")
+
+    def test_invalid_mode_rejected(self, graph):
+        with pytest.raises(ConfigurationError):
+            CloudWalker(graph, mode="mapreduce")
+
+    def test_build_and_query(self, indexed_walker, graph):
+        assert indexed_walker.is_indexed
+        assert "indexed" in repr(indexed_walker)
+        value = indexed_walker.single_pair(0, 5)
+        assert 0.0 <= value <= 1.0
+        scores = indexed_walker.single_source(2)
+        assert scores.shape == (graph.n_nodes,)
+        ranking = indexed_walker.top_k(2, k=5)
+        assert len(ranking) == 5
+
+    def test_exact_query_flags(self, indexed_walker):
+        exact_value = indexed_walker.single_pair(1, 6, exact=True)
+        mc_value = indexed_walker.single_pair(1, 6, walkers=5000)
+        assert mc_value == pytest.approx(exact_value, abs=0.05)
+        exact_scores = indexed_walker.single_source(1, exact=True)
+        assert exact_scores[1] == 1.0
+
+    def test_all_pairs_matrix(self, graph, params):
+        walker = CloudWalker(graph, params=params)
+        walker.build_index()
+        matrix = walker.all_pairs(walkers=100)
+        assert matrix.shape == (graph.n_nodes, graph.n_nodes)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_default_params_are_paper_defaults(self, graph):
+        walker = CloudWalker(graph)
+        assert walker.params == SimRankParams.paper_defaults()
+
+    def test_query_engine_accessor(self, indexed_walker):
+        engine = indexed_walker.query_engine()
+        assert engine.single_pair(0, 0) == 1.0
+
+    def test_execution_model_accessor(self, graph, params):
+        assert CloudWalker(graph, params=params).execution_model() is None
+        broadcast_walker = CloudWalker(graph, params=params, mode="broadcasting")
+        assert broadcast_walker.execution_model() is not None
+        broadcast_walker.shutdown()
+
+
+class TestIndexPersistence:
+    def test_save_and_load_round_trip(self, indexed_walker, graph, params, tmp_path):
+        path = tmp_path / "cw-index.npz"
+        indexed_walker.save_index(path)
+        fresh = CloudWalker(graph, params=params)
+        loaded = fresh.load_index(path)
+        assert np.allclose(loaded.diagonal, indexed_walker.index.diagonal)
+        assert fresh.single_pair(0, 0) == 1.0
+
+    def test_set_index_validates_graph(self, indexed_walker, params):
+        other_graph = generators.cycle_graph(5)
+        other = CloudWalker(other_graph, params=params)
+        from repro.errors import CloudWalkerError
+
+        with pytest.raises(CloudWalkerError):
+            other.set_index(indexed_walker.index)
+
+
+class TestFacadeModes:
+    def test_broadcasting_mode_end_to_end(self, graph, params):
+        walker = CloudWalker(graph, params=params, mode="broadcasting")
+        index = walker.build_index()
+        assert index.build_info.execution_model == "broadcasting"
+        assert 0.0 <= walker.single_pair(0, 3) <= 1.0
+        walker.shutdown()
+
+    def test_rdd_mode_end_to_end(self, graph, params):
+        walker = CloudWalker(graph, params=params, mode="rdd")
+        index = walker.build_index(index_walkers=40)
+        assert index.build_info.execution_model == "rdd"
+        assert 0.0 <= walker.single_pair(0, 3) <= 1.0
+        walker.shutdown()
+
+    def test_exact_local_mode(self, graph, params):
+        walker = CloudWalker(graph, params=params, exact=True)
+        index = walker.build_index()
+        assert index.build_info.execution_model == "exact-local"
+
+    def test_local_solver_override(self, graph, params):
+        walker = CloudWalker(graph, params=params)
+        index = walker.build_index(solver="gauss-seidel")
+        assert index.build_info.extras["solver"] == "gauss-seidel"

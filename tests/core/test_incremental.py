@@ -1,0 +1,131 @@
+"""Tests for incremental index maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimRankParams
+from repro.core.diagonal import build_diagonal_index
+from repro.core.incremental import IncrementalCloudWalker, affected_sources
+from repro.errors import ConfigurationError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=6,
+                         index_walkers=150, query_walkers=300, seed=11)
+
+
+@pytest.fixture()
+def graph():
+    return generators.copying_model_graph(60, out_degree=4, seed=41)
+
+
+class TestAffectedSources:
+    def test_chain_propagation(self):
+        # 0 -> 1 -> 2 -> 3 -> 4; changing In(1) affects nodes reachable from 1.
+        chain = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert affected_sources(chain, [1], steps=1) == {1, 2}
+        assert affected_sources(chain, [1], steps=3) == {1, 2, 3, 4}
+        assert affected_sources(chain, [4], steps=2) == {4}
+
+    def test_multiple_heads(self):
+        chain = DiGraph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        assert affected_sources(chain, [0, 3], steps=1) == {0, 1, 3, 4}
+
+    def test_cycle_saturates(self):
+        cycle = generators.cycle_graph(4)
+        assert affected_sources(cycle, [0], steps=10) == {0, 1, 2, 3}
+
+
+class TestIncrementalExact:
+    """With exact systems, incremental updates must equal full rebuilds."""
+
+    def test_matches_full_rebuild_after_edge_insertions(self, graph, params):
+        # Enough Jacobi iterations that the warm-started incremental solve and
+        # the cold-started full rebuild both converge to the same fixed point.
+        converged = params.with_(jacobi_iterations=40)
+        maintainer = IncrementalCloudWalker(graph, params=converged, exact=True)
+        maintainer.build()
+        new_edges = [(0, 30), (5, 42), (17, 3)]
+        info = maintainer.add_edges(new_edges)
+        assert info["affected_rows"] >= 3
+
+        merged = DiGraph(
+            graph.n_nodes,
+            np.vstack([graph.edge_array(), np.array(new_edges)]),
+            name=graph.name,
+        )
+        # The spliced linear system must equal the one a full rebuild sees...
+        from repro.core import linear_system
+
+        full_system = linear_system.build_exact_system(merged, converged)
+        assert abs(maintainer._system - full_system).max() < 1e-12
+        # ... and therefore the solved diagonal matches the full rebuild.
+        reference = build_diagonal_index(merged, converged, exact=True, solver="jacobi")
+        assert np.allclose(maintainer.index.diagonal, reference.diagonal, atol=1e-6)
+        assert maintainer.graph.n_edges == merged.n_edges
+
+    def test_new_node_added(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params, exact=True)
+        maintainer.build()
+        info = maintainer.add_edges([(2, graph.n_nodes)])  # brand-new node id
+        assert info["new_nodes"] == 1
+        assert maintainer.graph.n_nodes == graph.n_nodes + 1
+        assert maintainer.index.diagonal.shape == (graph.n_nodes + 1,)
+
+    def test_empty_update_is_noop(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params, exact=True)
+        maintainer.build()
+        before = maintainer.index.diagonal.copy()
+        info = maintainer.add_edges([])
+        assert info["affected_rows"] == 0
+        assert np.array_equal(maintainer.index.diagonal, before)
+
+
+class TestIncrementalMonteCarlo:
+    def test_update_close_to_full_rebuild(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params)
+        maintainer.build()
+        new_edges = [(1, 20), (7, 33)]
+        maintainer.add_edges(new_edges)
+        merged = DiGraph(
+            graph.n_nodes,
+            np.vstack([graph.edge_array(), np.array(new_edges)]),
+            name=graph.name,
+        )
+        reference = build_diagonal_index(merged, params)
+        assert np.abs(maintainer.index.diagonal - reference.diagonal).mean() < 0.05
+
+    def test_affected_fraction_small_for_local_change(self, params):
+        # On a long path graph, an edge at the tail only affects a few rows.
+        path_edges = [(i, i + 1) for i in range(199)]
+        path = DiGraph(200, path_edges, name="path")
+        maintainer = IncrementalCloudWalker(path, params=params)
+        maintainer.build()
+        info = maintainer.add_edges([(100, 199)])
+        assert info["affected_fraction"] < 0.1
+
+    def test_build_required_before_update(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params)
+        with pytest.raises(ConfigurationError):
+            maintainer.add_edges([(0, 1)])
+
+    def test_index_usable_for_queries_after_update(self, graph, params):
+        from repro.core.queries import QueryEngine
+
+        maintainer = IncrementalCloudWalker(graph, params=params)
+        maintainer.build()
+        maintainer.add_edges([(3, 50)])
+        engine = QueryEngine(maintainer.graph, maintainer.index, params)
+        assert 0.0 <= engine.single_pair(3, 50) <= 1.0
+        assert engine.single_pair(4, 4) == 1.0
+
+    def test_build_info_records_update_kind(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params)
+        maintainer.build()
+        assert maintainer.index.build_info.extras["update_kind"] == "full-build"
+        maintainer.add_edges([(0, 10)])
+        assert maintainer.index.build_info.extras["update_kind"] == "incremental-add-edges"
+        assert maintainer.index.build_info.extras["affected_rows"] > 0

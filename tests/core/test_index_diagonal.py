@@ -1,0 +1,130 @@
+"""Unit tests for DiagonalIndex persistence and the DiagonalEstimator."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimRankParams
+from repro.core.diagonal import DiagonalEstimator, build_diagonal_index, exact_diagonal
+from repro.core.index import BuildInfo, DiagonalIndex
+from repro.errors import CloudWalkerError, ConfigurationError
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(60, out_degree=4, seed=8)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=4,
+                         index_walkers=150, query_walkers=500, seed=5)
+
+
+class TestDiagonalEstimator:
+    def test_build_produces_valid_index(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        assert index.n_nodes == graph.n_nodes
+        assert index.graph_name == graph.name
+        assert index.diagonal.shape == (graph.n_nodes,)
+        # Diagonal corrections are positive and at most 1.
+        assert (index.diagonal > 0).all()
+        assert (index.diagonal <= 1.0 + 1e-6).all()
+
+    def test_build_info_populated(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        info = index.build_info
+        assert info.execution_model == "local"
+        assert info.total_seconds > 0
+        assert info.system_nnz > 0
+        assert info.jacobi_residual < 0.1
+
+    def test_exact_mode_close_to_direct_solution(self, graph, params):
+        exact = exact_diagonal(graph, params)
+        estimated = build_diagonal_index(graph, params.with_(index_walkers=3000)).diagonal
+        assert np.abs(exact - estimated).max() < 0.1
+        assert np.abs(exact - estimated).mean() < 0.02
+
+    def test_monte_carlo_estimate_close_to_exact(self, graph, params):
+        jacobi_exact_system = DiagonalEstimator(
+            graph, params=params, exact=True, solver="jacobi"
+        ).build()
+        assert np.abs(jacobi_exact_system.diagonal - exact_diagonal(graph, params)).max() < 0.05
+
+    def test_zero_in_degree_node_has_unit_correction(self, params):
+        graph = DiGraph(4, [(0, 1), (1, 2), (2, 3)])
+        index = build_diagonal_index(graph, params, exact=True, solver="exact")
+        # Node 0 has no in-links: a_0 = e_0 so x_0 = 1 exactly.
+        assert index.diagonal[0] == pytest.approx(1.0)
+
+    def test_solver_choices(self, graph, params):
+        for solver in ("jacobi", "gauss-seidel", "exact"):
+            index = build_diagonal_index(graph, params, exact=True, solver=solver)
+            assert index.build_info.extras["solver"] == solver
+
+    def test_invalid_solver_rejected(self, graph, params):
+        with pytest.raises(ConfigurationError):
+            DiagonalEstimator(graph, params, solver="quantum")
+
+    def test_empty_graph(self, params):
+        index = build_diagonal_index(DiGraph(0, []), params)
+        assert index.n_nodes == 0
+        assert index.diagonal.shape == (0,)
+
+    def test_deterministic_given_seed(self, graph, params):
+        first = build_diagonal_index(graph, params).diagonal
+        second = build_diagonal_index(graph, params).diagonal
+        assert np.array_equal(first, second)
+
+
+class TestDiagonalIndex:
+    def test_validate_for_wrong_graph_raises(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        other = generators.cycle_graph(10)
+        with pytest.raises(CloudWalkerError):
+            index.validate_for(other)
+
+    def test_wrong_length_diagonal_rejected(self, params):
+        with pytest.raises(CloudWalkerError):
+            DiagonalIndex(
+                diagonal=np.ones(3), params=params, graph_name="g",
+                n_nodes=5, n_edges=4,
+            )
+
+    def test_summary_fields(self, graph, params):
+        index = build_diagonal_index(graph, params)
+        summary = index.summary()
+        assert summary["graph_name"] == graph.name
+        assert summary["n_nodes"] == graph.n_nodes
+        assert 0 < summary["diag_min"] <= summary["diag_max"] <= 1.0 + 1e-6
+        assert summary["index_bytes"] == graph.n_nodes * 8
+
+    def test_save_load_round_trip(self, graph, params, tmp_path):
+        index = build_diagonal_index(graph, params)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        loaded = DiagonalIndex.load(path)
+        assert np.allclose(loaded.diagonal, index.diagonal)
+        assert loaded.params == index.params
+        assert loaded.graph_name == index.graph_name
+        assert loaded.n_nodes == index.n_nodes
+        assert loaded.build_info.execution_model == "local"
+        assert loaded.build_info.system_nnz == index.build_info.system_nnz
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(CloudWalkerError):
+            DiagonalIndex.load(tmp_path / "nope.npz")
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"garbage")
+        with pytest.raises(CloudWalkerError):
+            DiagonalIndex.load(path)
+
+    def test_build_info_to_dict(self):
+        info = BuildInfo(execution_model="local", total_seconds=1.5,
+                         extras={"foo": 1})
+        record = info.to_dict()
+        assert record["execution_model"] == "local"
+        assert record["foo"] == 1

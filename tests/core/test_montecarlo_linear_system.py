@@ -1,0 +1,151 @@
+"""Unit tests for Monte-Carlo estimators and linear-system assembly."""
+
+import numpy as np
+import pytest
+
+from repro.config import SimRankParams
+from repro.core import linear_system, montecarlo
+from repro.graph import generators
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(70, out_degree=4, copy_prob=0.5, seed=4)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=3,
+                         index_walkers=200, query_walkers=800, seed=3)
+
+
+class TestWalkDistributions:
+    def test_estimate_shape_and_normalisation(self, graph, params):
+        dist = montecarlo.estimate_walk_distributions(graph, 3, params)
+        assert dist.source == 3
+        assert len(dist.per_step) == params.walk_steps + 1
+        assert dist.survival(0) == pytest.approx(1.0)
+        for step in range(params.walk_steps + 1):
+            assert dist.survival(step) <= 1.0 + 1e-12
+
+    def test_exact_matches_transition_power(self, graph, params):
+        dist = montecarlo.exact_walk_distributions(graph, 3, params)
+        transition = graph.transition_matrix()
+        expected = np.zeros(graph.n_nodes)
+        expected[3] = 1.0
+        for step in range(params.walk_steps + 1):
+            assert np.allclose(dist.dense(graph.n_nodes, step), expected, atol=1e-12)
+            expected = transition @ expected
+
+    def test_dense_conversion(self, graph, params):
+        dist = montecarlo.estimate_walk_distributions(graph, 0, params, walkers=50)
+        dense = dist.dense(graph.n_nodes, 0)
+        assert dense[0] == pytest.approx(1.0)
+        assert dense.sum() == pytest.approx(1.0)
+
+    def test_distribution_error_decreases_with_walkers(self, graph, params):
+        exact = montecarlo.exact_walk_distributions(graph, 2, params)
+        few = montecarlo.estimate_walk_distributions(graph, 2, params, walkers=20)
+        many = montecarlo.estimate_walk_distributions(graph, 2, params, walkers=5000)
+        error_few = montecarlo.distribution_error(few, exact, graph.n_nodes)
+        error_many = montecarlo.distribution_error(many, exact, graph.n_nodes)
+        assert error_many < error_few
+
+    def test_distribution_error_mismatched_steps_raises(self, graph, params):
+        a = montecarlo.estimate_walk_distributions(graph, 2, params, walkers=10)
+        b = montecarlo.estimate_walk_distributions(
+            graph, 2, params.with_(walk_steps=3), walkers=10
+        )
+        with pytest.raises(ValueError):
+            montecarlo.distribution_error(a, b, graph.n_nodes)
+
+    def test_reproducible_with_same_seed(self, graph, params):
+        first = montecarlo.estimate_walk_distributions(graph, 4, params, walkers=100)
+        second = montecarlo.estimate_walk_distributions(graph, 4, params, walkers=100)
+        for step in range(params.walk_steps + 1):
+            assert np.array_equal(first.per_step[step][0], second.per_step[step][0])
+            assert np.allclose(first.per_step[step][1], second.per_step[step][1])
+
+
+class TestSparseDot:
+    def test_disjoint_supports(self):
+        left = (np.array([0, 1]), np.array([0.5, 0.5]))
+        right = (np.array([2, 3]), np.array([0.5, 0.5]))
+        assert montecarlo.sparse_dot(left, right) == 0.0
+
+    def test_overlapping_supports_with_weights(self):
+        left = (np.array([1, 2, 5]), np.array([0.2, 0.3, 0.5]))
+        right = (np.array([2, 5, 7]), np.array([0.4, 0.6, 1.0]))
+        weights = np.ones(10)
+        expected = 0.3 * 0.4 + 0.5 * 0.6
+        assert montecarlo.sparse_dot(left, right, weights) == pytest.approx(expected)
+
+    def test_empty_vector(self):
+        empty = (np.array([], dtype=np.int64), np.array([]))
+        other = (np.array([1]), np.array([1.0]))
+        assert montecarlo.sparse_dot(empty, other) == 0.0
+
+
+class TestSelfMeetingColumn:
+    def test_star_graph_column(self):
+        # Leaves of a star: P e_leaf = e_hub, P^2 e_leaf = 0.
+        graph = generators.star_graph(3)
+        params = SimRankParams(c=0.5, walk_steps=3, seed=1)
+        dist = montecarlo.exact_walk_distributions(graph, 1, params)
+        column = montecarlo.self_meeting_column(dist, decay=0.5)
+        assert column[1] == pytest.approx(1.0)   # t=0 at the leaf itself
+        assert column[0] == pytest.approx(0.5)   # t=1 at the hub, weight c
+        assert len(column) == 2
+
+
+class TestLinearSystem:
+    def test_discount_factors(self):
+        factors = linear_system.discount_factors(0.5, 3)
+        assert factors.tolist() == [1.0, 0.5, 0.25, 0.125]
+
+    def test_diagonal_entries_are_at_least_one(self, graph, params):
+        system = linear_system.build_system(graph, params)
+        assert (system.diagonal() >= 1.0 - 1e-9).all()
+
+    def test_exact_system_diagonal_at_least_one(self, graph, params):
+        system = linear_system.build_exact_system(graph, params)
+        assert (system.diagonal() >= 1.0 - 1e-9).all()
+
+    def test_monte_carlo_approaches_exact_system(self, graph, params):
+        exact = linear_system.build_exact_system(graph, params).toarray()
+        estimated = linear_system.build_system(
+            graph, params, walkers=5000
+        ).toarray()
+        assert np.abs(exact - estimated).max() < 0.05
+
+    def test_build_rows_subset(self, graph, params):
+        rows, cols, values = linear_system.build_rows(graph, [2, 9], params)
+        assert set(rows.tolist()) <= {2, 9}
+        assert (values > 0).all()
+        assert len(rows) == len(cols) == len(values)
+
+    def test_build_rows_empty_sources(self, graph, params):
+        rows, cols, values = linear_system.build_rows(graph, [], params)
+        assert len(rows) == 0 and len(cols) == 0 and len(values) == 0
+
+    def test_build_system_row_subset_leaves_other_rows_empty(self, graph, params):
+        system = linear_system.build_system(graph, params, sources=[0, 1])
+        row_sums = np.asarray(system.sum(axis=1)).ravel()
+        assert row_sums[0] > 0 and row_sums[1] > 0
+        assert np.allclose(row_sums[2:], 0.0)
+
+    def test_zero_in_degree_node_row_is_identity(self, params):
+        from repro.graph.digraph import DiGraph
+
+        graph = DiGraph(3, [(0, 1), (1, 2)])  # node 0 has no in-links
+        system = linear_system.build_exact_system(graph, params).toarray()
+        assert system[0, 0] == pytest.approx(1.0)
+        assert np.allclose(system[0, 1:], 0.0)
+
+    def test_system_diagnostics(self, graph, params):
+        system = linear_system.build_system(graph, params)
+        info = linear_system.system_diagnostics(system)
+        assert info["n_rows"] == graph.n_nodes
+        assert info["nnz"] == system.nnz
+        assert info["min_diagonal"] >= 1.0 - 1e-9
+        assert 0.0 <= info["rows_diagonally_dominant_fraction"] <= 1.0

@@ -1,0 +1,155 @@
+"""Unit tests for the reverse random-walk engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import walks
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture()
+def rng():
+    return walks.make_rng(42)
+
+
+class TestStepWalkers:
+    def test_walkers_move_to_in_neighbors(self, rng):
+        graph = generators.cycle_graph(5)  # in-neighbour of v is v-1
+        positions = np.array([0, 1, 2, 3, 4], dtype=np.int64)
+        stepped = walks.step_walkers(graph, positions, rng)
+        assert stepped.tolist() == [4, 0, 1, 2, 3]
+
+    def test_walkers_die_at_zero_in_degree(self, rng):
+        graph = DiGraph(3, [(0, 1), (1, 2)])  # node 0 has no in-neighbours
+        positions = np.array([0, 0, 2], dtype=np.int64)
+        stepped = walks.step_walkers(graph, positions, rng)
+        assert stepped[0] == walks.DEAD
+        assert stepped[1] == walks.DEAD
+        assert stepped[2] == 1
+
+    def test_dead_walkers_stay_dead(self, rng):
+        graph = generators.cycle_graph(4)
+        positions = np.array([walks.DEAD, 2], dtype=np.int64)
+        stepped = walks.step_walkers(graph, positions, rng)
+        assert stepped[0] == walks.DEAD
+        assert stepped[1] == 1
+
+    def test_all_dead_short_circuit(self, rng):
+        graph = generators.cycle_graph(4)
+        positions = np.full(5, walks.DEAD, dtype=np.int64)
+        assert (walks.step_walkers(graph, positions, rng) == walks.DEAD).all()
+
+    def test_step_respects_uniform_choice(self):
+        # Node 2 has in-neighbours {0, 1}; both should be chosen roughly
+        # equally often.
+        graph = DiGraph(3, [(0, 2), (1, 2)])
+        rng = walks.make_rng(3)
+        positions = np.full(4000, 2, dtype=np.int64)
+        stepped = walks.step_walkers(graph, positions, rng)
+        counts = np.bincount(stepped, minlength=3)
+        assert counts[0] + counts[1] == 4000
+        assert abs(counts[0] - 2000) < 200
+
+
+class TestMakeRng:
+    def test_deterministic_streams(self):
+        a = walks.make_rng(1, stream=5).integers(0, 1000, 10)
+        b = walks.make_rng(1, stream=5).integers(0, 1000, 10)
+        c = walks.make_rng(1, stream=6).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_none_seed_gives_generator(self):
+        assert walks.make_rng(None) is not None
+
+
+class TestSingleSourceWalkCounts:
+    def test_step_zero_is_source(self, rng):
+        graph = generators.cycle_graph(6)
+        counts = walks.single_source_walk_counts(graph, 3, walkers=50, steps=4, rng=rng)
+        nodes, values = counts[0]
+        assert nodes.tolist() == [3]
+        assert values.tolist() == [50]
+
+    def test_counts_conserved_on_cycle(self, rng):
+        graph = generators.cycle_graph(6)
+        counts = walks.single_source_walk_counts(graph, 0, walkers=30, steps=5, rng=rng)
+        for _nodes, values in counts:
+            assert values.sum() == 30
+
+    def test_counts_decay_with_absorption(self, rng):
+        graph = generators.star_graph(4)  # leaves have in-degree 1 (hub), hub has 0
+        counts = walks.single_source_walk_counts(graph, 1, walkers=20, steps=3, rng=rng)
+        assert counts[0][1].sum() == 20   # at leaf
+        assert counts[1][1].sum() == 20   # all at hub
+        assert counts[2][1].sum() == 0    # absorbed
+        assert counts[3][1].sum() == 0
+        assert len(counts) == 4
+
+    def test_invalid_source_raises(self, rng):
+        graph = generators.cycle_graph(4)
+        from repro.errors import NodeNotFoundError
+
+        with pytest.raises(NodeNotFoundError):
+            walks.single_source_walk_counts(graph, 99, walkers=5, steps=2, rng=rng)
+
+
+class TestWalkStepCounts:
+    def test_counts_per_source_conserved(self):
+        graph = generators.cycle_graph(8)
+        sources = np.array([0, 3, 5])
+        rng = walks.make_rng(1)
+        for step, source_ids, node_ids, counts in walks.walk_step_counts(
+            graph, sources, walkers_per_source=10, steps=4, rng=rng
+        ):
+            per_source = {}
+            for source, count in zip(source_ids.tolist(), counts.tolist()):
+                per_source[source] = per_source.get(source, 0) + count
+            assert per_source == {0: 10, 3: 10, 5: 10}
+            assert len(node_ids) == len(source_ids)
+
+    def test_empty_sources(self):
+        graph = generators.cycle_graph(4)
+        rng = walks.make_rng(1)
+        assert list(walks.walk_step_counts(graph, np.array([], dtype=np.int64), 5, 3, rng)) == []
+
+    def test_terminates_when_all_walkers_die(self):
+        graph = DiGraph(2, [(0, 1)])  # node 0 absorbs after one step
+        rng = walks.make_rng(1)
+        steps = list(walks.walk_step_counts(graph, np.array([1]), 10, 5, rng))
+        # step 0 at node 1, step 1 at node 0, step 2 empty then stop.
+        assert steps[0][0] == 0
+        assert steps[-1][3].sum() == 0
+        assert len(steps) <= 4
+
+
+class TestExactWalkDistributions:
+    def test_matches_transition_powers(self):
+        graph = generators.copying_model_graph(40, out_degree=4, seed=2)
+        source = 7
+        distributions = walks.exact_walk_distributions(graph, source, steps=3)
+        transition = graph.transition_matrix()
+        expected = np.zeros(graph.n_nodes)
+        expected[source] = 1.0
+        for step in range(4):
+            assert np.allclose(distributions[step], expected)
+            expected = transition @ expected
+
+    def test_distributions_sum_to_at_most_one(self):
+        graph = generators.preferential_attachment_graph(60, out_degree=3, seed=2)
+        distributions = walks.exact_walk_distributions(graph, 10, steps=5)
+        for vector in distributions:
+            assert vector.sum() <= 1.0 + 1e-12
+
+    def test_monte_carlo_converges_to_exact(self):
+        graph = generators.copying_model_graph(50, out_degree=4, seed=9)
+        source = 5
+        exact = walks.exact_walk_distributions(graph, source, steps=3)
+        rng = walks.make_rng(11)
+        counts = walks.single_source_walk_counts(graph, source, walkers=20000, steps=3, rng=rng)
+        for step in range(4):
+            estimate = np.zeros(graph.n_nodes)
+            nodes, values = counts[step]
+            estimate[nodes] = values / 20000
+            assert np.abs(estimate - exact[step]).max() < 0.02

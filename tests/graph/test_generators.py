@@ -1,0 +1,149 @@
+"""Unit tests for synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+class TestErdosRenyi:
+    def test_size_and_determinism(self):
+        g1 = generators.erdos_renyi_graph(200, avg_degree=5, seed=1)
+        g2 = generators.erdos_renyi_graph(200, avg_degree=5, seed=1)
+        assert g1.n_nodes == 200
+        assert g1 == g2
+        # Expected ~1000 edges, allow slack for duplicate removal.
+        assert 700 <= g1.n_edges <= 1000
+
+    def test_different_seeds_differ(self):
+        g1 = generators.erdos_renyi_graph(200, avg_degree=5, seed=1)
+        g2 = generators.erdos_renyi_graph(200, avg_degree=5, seed=2)
+        assert g1 != g2
+
+    def test_no_self_loops(self):
+        graph = generators.erdos_renyi_graph(50, avg_degree=4, seed=3)
+        assert all(src != dst for src, dst in graph.edges())
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi_graph(0, avg_degree=2)
+        with pytest.raises(ConfigurationError):
+            generators.erdos_renyi_graph(10, avg_degree=-1)
+
+
+class TestPreferentialAttachment:
+    def test_size(self):
+        graph = generators.preferential_attachment_graph(300, out_degree=5, seed=7)
+        assert graph.n_nodes == 300
+        assert graph.n_edges > 300
+
+    def test_skewed_in_degrees(self):
+        graph = generators.preferential_attachment_graph(500, out_degree=5, seed=7)
+        degrees = graph.in_degrees()
+        # Preferential attachment should produce hubs much larger than average.
+        assert degrees.max() > 5 * degrees.mean()
+
+    def test_determinism(self):
+        g1 = generators.preferential_attachment_graph(100, out_degree=3, seed=42)
+        g2 = generators.preferential_attachment_graph(100, out_degree=3, seed=42)
+        assert g1 == g2
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.preferential_attachment_graph(0, out_degree=2)
+        with pytest.raises(ConfigurationError):
+            generators.preferential_attachment_graph(10, out_degree=0)
+
+
+class TestPowerLaw:
+    def test_size_and_determinism(self):
+        g1 = generators.power_law_graph(400, avg_degree=6, seed=11)
+        g2 = generators.power_law_graph(400, avg_degree=6, seed=11)
+        assert g1 == g2
+        assert g1.n_nodes == 400
+
+    def test_heavy_tail(self):
+        graph = generators.power_law_graph(1000, avg_degree=8, seed=11)
+        degrees = graph.in_degrees()
+        assert degrees.max() > 4 * degrees.mean()
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.power_law_graph(10, avg_degree=0)
+        with pytest.raises(ConfigurationError):
+            generators.power_law_graph(10, avg_degree=2, exponent=0.5)
+
+
+class TestCopyingModel:
+    def test_size_and_determinism(self):
+        g1 = generators.copying_model_graph(300, out_degree=6, seed=5)
+        g2 = generators.copying_model_graph(300, out_degree=6, seed=5)
+        assert g1 == g2
+        assert g1.n_nodes == 300
+        assert g1.n_edges > 300
+
+    def test_shared_in_neighbours_exist(self):
+        graph = generators.copying_model_graph(200, out_degree=6, copy_prob=0.7, seed=5)
+        # Copying should create at least one node with in-degree >= 3.
+        assert graph.in_degrees().max() >= 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.copying_model_graph(1, out_degree=2)
+        with pytest.raises(ConfigurationError):
+            generators.copying_model_graph(10, out_degree=2, copy_prob=1.5)
+
+
+class TestCommunityGraph:
+    def test_shape(self):
+        graph = generators.community_graph(4, 20, seed=9)
+        assert graph.n_nodes == 80
+
+    def test_intra_denser_than_inter(self):
+        graph = generators.community_graph(4, 25, p_in=0.3, p_out=0.01, seed=9)
+        community = np.repeat(np.arange(4), 25)
+        intra = inter = 0
+        for src, dst in graph.edges():
+            if community[src] == community[dst]:
+                intra += 1
+            else:
+                inter += 1
+        # With p_in=0.3 over 24 in-community targets vs p_out=0.01 over 75,
+        # intra edges should dominate.
+        assert intra > inter
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.community_graph(0, 10)
+        with pytest.raises(ConfigurationError):
+            generators.community_graph(2, 10, p_in=0.1, p_out=0.5)
+
+
+class TestDeterministicGraphs:
+    def test_star(self):
+        graph = generators.star_graph(5)
+        assert graph.n_nodes == 6
+        assert graph.n_edges == 5
+        assert graph.in_degree(3) == 1
+        assert graph.out_degree(0) == 5
+
+    def test_cycle(self):
+        graph = generators.cycle_graph(4)
+        assert graph.n_edges == 4
+        assert graph.has_edge(3, 0)
+
+    def test_complete_bipartite(self):
+        graph = generators.complete_bipartite_graph(2, 3)
+        assert graph.n_nodes == 5
+        assert graph.n_edges == 6
+        # Right-side nodes share identical in-neighbour sets.
+        assert graph.in_neighbors(2).tolist() == graph.in_neighbors(3).tolist()
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            generators.star_graph(0)
+        with pytest.raises(ConfigurationError):
+            generators.cycle_graph(1)
+        with pytest.raises(ConfigurationError):
+            generators.complete_bipartite_graph(0, 3)

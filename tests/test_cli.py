@@ -1,0 +1,162 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.graph import generators
+from repro.graph import io as graph_io
+
+
+def run_cli(*argv):
+    buffer = io.StringIO()
+    code = main(list(argv), out=buffer)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    graph = generators.copying_model_graph(80, out_degree=5, seed=17)
+    path = tmp_path / "graph.tsv"
+    graph_io.write_edge_list(graph, path)
+    return path
+
+
+@pytest.fixture()
+def indexed(tmp_path, graph_file):
+    index_path = tmp_path / "index.npz"
+    code, _ = run_cli(
+        "index", "--graph", str(graph_file), "--output", str(index_path),
+        "--walkers", "50", "--query-walkers", "200", "--steps", "5",
+    )
+    assert code == 0
+    return graph_file, index_path
+
+
+class TestDatasetsAndGenerate:
+    def test_datasets_lists_paper_entries(self):
+        code, output = run_cli("datasets")
+        assert code == 0
+        for name in ("wiki-vote", "clue-web"):
+            assert name in output
+
+    def test_generate_edge_list(self, tmp_path):
+        out = tmp_path / "generated.tsv"
+        code, output = run_cli(
+            "generate", "--model", "copying", "--nodes", "120",
+            "--degree", "5", "--output", str(out),
+        )
+        assert code == 0
+        assert out.exists()
+        assert "120 nodes" in output
+
+    def test_generate_binary(self, tmp_path):
+        out = tmp_path / "generated.npz"
+        code, _ = run_cli("generate", "--model", "power-law", "--nodes", "100",
+                          "--degree", "4", "--output", str(out))
+        assert code == 0
+        assert graph_io.load_binary(out).n_nodes == 100
+
+    def test_generate_unknown_model(self, tmp_path):
+        code, output = run_cli("generate", "--model", "hyperbolic", "--nodes", "10",
+                               "--output", str(tmp_path / "x.tsv"))
+        assert code == 2
+        assert "unknown model" in output
+
+
+class TestStatsIndexValidateQuery:
+    def test_stats_from_file(self, graph_file):
+        code, output = run_cli("stats", "--graph", str(graph_file))
+        assert code == 0
+        assert "n_edges" in output
+
+    def test_stats_from_dataset(self):
+        code, output = run_cli("stats", "--dataset", "wiki-vote")
+        assert code == 0
+        assert "wiki-vote" in output
+
+    def test_stats_requires_graph_or_dataset(self):
+        code, output = run_cli("stats")
+        assert code == 1
+        assert "error" in output
+
+    def test_index_and_query_pair(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "query", "pair", "--graph", str(graph_file), "--index", str(index_path),
+            "--source", "3", "--target", "9", "--query-walkers", "200",
+        )
+        assert code == 0
+        assert "s(3, 9)" in output
+
+    def test_query_pair_requires_target(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "query", "pair", "--graph", str(graph_file), "--index", str(index_path),
+            "--source", "3",
+        )
+        assert code == 2
+        assert "--target" in output
+
+    def test_query_source_and_topk(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "query", "source", "--graph", str(graph_file), "--index", str(index_path),
+            "--source", "5", "--query-walkers", "200",
+        )
+        assert code == 0
+        assert "single-source" in output
+        code, output = run_cli(
+            "query", "topk", "--graph", str(graph_file), "--index", str(index_path),
+            "--source", "5", "--k", "3", "--query-walkers", "200",
+        )
+        assert code == 0
+        assert output.count("node") >= 3
+
+    def test_validate(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "validate", "--graph", str(graph_file), "--index", str(index_path),
+            "--spot-checks", "5",
+        )
+        assert code == 0
+        assert "OK" in output
+
+    def test_validate_wrong_graph(self, indexed, tmp_path):
+        _graph_file, index_path = indexed
+        other = generators.cycle_graph(12)
+        other_path = tmp_path / "other.tsv"
+        graph_io.write_edge_list(other, other_path)
+        code, output = run_cli(
+            "validate", "--graph", str(other_path), "--index", str(index_path),
+        )
+        assert code == 1
+        assert "FAILED" in output
+
+    def test_index_broadcasting_mode(self, tmp_path, graph_file):
+        index_path = tmp_path / "bc-index.npz"
+        code, output = run_cli(
+            "index", "--graph", str(graph_file), "--output", str(index_path),
+            "--mode", "broadcasting", "--walkers", "30", "--steps", "4",
+        )
+        assert code == 0
+        assert "broadcasting" in output
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        env = dict(os.environ)
+        src = Path(__file__).resolve().parents[1] / "src"
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "datasets"],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "wiki-vote" in completed.stdout

@@ -1,0 +1,59 @@
+"""Smoke tests: every example script must run end-to-end and print results."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def _run_example(name: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+    assert completed.returncode == 0, (
+        f"{name} failed:\nstdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    return completed.stdout
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 3
+    assert (EXAMPLES_DIR / "quickstart.py") in scripts
+
+
+def test_quickstart_example():
+    output = _run_example("quickstart.py")
+    assert "index built" in output
+    assert "single-pair" in output
+    assert "top-5" in output
+    assert "reloaded index" in output
+
+
+def test_recommendation_example():
+    output = _run_example("recommendation.py")
+    assert "mean precision@" in output
+    assert "SimRank (CloudWalker MCSS)" in output
+    assert "Co-citation" in output
+
+
+def test_link_prediction_example():
+    output = _run_example("link_prediction.py")
+    assert "pairwise ranking score" in output
+    assert "SimRank (CloudWalker)" in output
+
+
+@pytest.mark.slow
+def test_cluster_scaling_example():
+    output = _run_example("cluster_scaling.py")
+    assert "broadcasting" in output
+    assert "INFEASIBLE" in output
+    assert "RDD" in output

@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for core data structures and invariants.
+
+These complement the example-based unit tests by checking invariants over
+randomly generated graphs and inputs:
+
+* CSR graph construction is consistent with the edge list it was built from;
+* the transition matrix is column-substochastic;
+* SimRank estimates always live in [0, 1] with unit self-similarity;
+* the indexing linear system is well-formed for any graph;
+* the Jacobi solver converges on diagonally dominant systems;
+* the engine's shuffle operations match their sequential equivalents.
+"""
+
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimRankParams
+from repro.core import linear_system, walks
+from repro.core.diagonal import build_diagonal_index
+from repro.core.jacobi import exact_solve, jacobi_solve
+from repro.core.queries import QueryEngine
+from repro.engine import ClusterContext
+from repro.graph.digraph import DiGraph
+
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+settings.load_profile("repro")
+
+
+# --------------------------------------------------------------------------- #
+# Strategies
+# --------------------------------------------------------------------------- #
+@st.composite
+def edge_lists(draw, max_nodes: int = 25, max_edges: int = 120) -> Tuple[int, List[Tuple[int, int]]]:
+    n_nodes = draw(st.integers(min_value=1, max_value=max_nodes))
+    n_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n_nodes - 1),
+                st.integers(min_value=0, max_value=n_nodes - 1),
+            ),
+            min_size=n_edges, max_size=n_edges,
+        )
+    )
+    return n_nodes, edges
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 25, max_edges: int = 120) -> DiGraph:
+    n_nodes, edges = draw(edge_lists(max_nodes, max_edges))
+    return DiGraph(n_nodes, edges)
+
+
+# --------------------------------------------------------------------------- #
+# Graph invariants
+# --------------------------------------------------------------------------- #
+class TestGraphProperties:
+    @given(edge_lists())
+    def test_degree_sums_equal_edge_count(self, data):
+        n_nodes, edges = data
+        graph = DiGraph(n_nodes, edges)
+        assert graph.in_degrees().sum() == graph.n_edges
+        assert graph.out_degrees().sum() == graph.n_edges
+        assert graph.n_edges <= len(edges)
+
+    @given(edge_lists())
+    def test_every_input_edge_present(self, data):
+        n_nodes, edges = data
+        graph = DiGraph(n_nodes, edges)
+        for src, dst in edges:
+            assert graph.has_edge(src, dst)
+
+    @given(graphs())
+    def test_reverse_swaps_degrees(self, graph):
+        reverse = graph.reverse()
+        assert np.array_equal(reverse.in_degrees(), graph.out_degrees())
+        assert np.array_equal(reverse.out_degrees(), graph.in_degrees())
+
+    @given(graphs())
+    def test_transition_matrix_column_substochastic(self, graph):
+        transition = graph.transition_matrix()
+        column_sums = np.asarray(transition.sum(axis=0)).ravel()
+        assert (column_sums <= 1.0 + 1e-9).all()
+        in_degrees = graph.in_degrees()
+        assert np.allclose(column_sums[in_degrees > 0], 1.0)
+        assert np.allclose(column_sums[in_degrees == 0], 0.0)
+
+    @given(graphs())
+    def test_memory_accounting_non_negative(self, graph):
+        assert graph.memory_bytes() > 0
+        assert graph.edge_list_bytes() >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Walk and linear-system invariants
+# --------------------------------------------------------------------------- #
+class TestWalkProperties:
+    @given(graphs(), st.integers(min_value=0, max_value=24), st.integers(min_value=1, max_value=50))
+    def test_walker_counts_never_exceed_start(self, graph, source, walkers):
+        source = source % graph.n_nodes
+        rng = walks.make_rng(3)
+        counts = walks.single_source_walk_counts(graph, source, walkers, steps=4, rng=rng)
+        for _nodes, values in counts:
+            assert values.sum() <= walkers
+        assert counts[0][1].sum() == walkers
+
+    @given(graphs())
+    def test_system_diagonal_at_least_one(self, graph):
+        params = SimRankParams(c=0.6, walk_steps=3, index_walkers=20, seed=1)
+        system = linear_system.build_system(graph, params)
+        diagonal = system.diagonal()
+        assert (diagonal >= 1.0 - 1e-9).all()
+        # Every entry of A is a discounted squared probability, so <= 1/(1-c).
+        if system.nnz:
+            assert system.data.max() <= 1.0 / (1.0 - params.c) + 1e-9
+
+    @given(graphs())
+    def test_diagonal_index_in_unit_interval(self, graph):
+        params = SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=3,
+                               index_walkers=20, query_walkers=50, seed=2)
+        index = build_diagonal_index(graph, params)
+        assert index.diagonal.shape == (graph.n_nodes,)
+        assert (index.diagonal > 0.0).all() if graph.n_nodes else True
+        assert (index.diagonal <= 1.0 + 1e-6).all() if graph.n_nodes else True
+
+
+class TestQueryProperties:
+    @given(graphs(max_nodes=15, max_edges=60), st.data())
+    def test_similarity_scores_in_unit_interval(self, graph, data):
+        params = SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=3,
+                               index_walkers=30, query_walkers=60, seed=4)
+        index = build_diagonal_index(graph, params)
+        engine = QueryEngine(graph, index, params)
+        node_i = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        node_j = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        value = engine.single_pair(node_i, node_j)
+        assert 0.0 <= value <= 1.0
+        assert engine.single_pair(node_i, node_i) == 1.0
+        scores = engine.single_source(node_i)
+        assert scores.shape == (graph.n_nodes,)
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+        assert scores[node_i] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Solver invariants
+# --------------------------------------------------------------------------- #
+class TestSolverProperties:
+    @given(st.integers(min_value=2, max_value=20), st.integers(min_value=0, max_value=1000))
+    def test_jacobi_converges_on_diagonally_dominant_systems(self, size, seed):
+        from scipy import sparse
+
+        rng = np.random.default_rng(seed)
+        matrix = rng.random((size, size)) * (0.5 / size)
+        np.fill_diagonal(matrix, 1.0 + rng.random(size))
+        system = sparse.csr_matrix(matrix)
+        rhs = rng.random(size) + 0.1
+        expected = exact_solve(system, rhs).x
+        result = jacobi_solve(system, rhs, iterations=60)
+        assert np.allclose(result.x, expected, atol=1e-6)
+
+
+# --------------------------------------------------------------------------- #
+# Engine invariants
+# --------------------------------------------------------------------------- #
+class TestEngineProperties:
+    @given(
+        st.lists(st.tuples(st.integers(min_value=0, max_value=9),
+                           st.integers(min_value=-50, max_value=50)),
+                 max_size=60),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_reduce_by_key_matches_sequential_aggregation(self, pairs, partitions):
+        with ClusterContext() as ctx:
+            result = dict(
+                ctx.parallelize(pairs, partitions)
+                .reduce_by_key(lambda a, b: a + b)
+                .collect()
+            )
+        expected = {}
+        for key, value in pairs:
+            expected[key] = expected.get(key, 0) + value
+        assert result == expected
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), max_size=80),
+           st.integers(min_value=1, max_value=5))
+    def test_sort_by_matches_sorted(self, values, partitions):
+        with ClusterContext() as ctx:
+            result = ctx.parallelize(values, partitions).sort_by(lambda x: x).collect()
+        assert result == sorted(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=60))
+    def test_distinct_matches_set(self, values):
+        with ClusterContext() as ctx:
+            result = ctx.parallelize(values).distinct().collect()
+        assert sorted(result) == sorted(set(values))
