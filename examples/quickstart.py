@@ -46,6 +46,31 @@ def main() -> None:
     reloaded.load_index("/tmp/cloudwalker-quickstart-index.npz")
     print(f"\nreloaded index answers s(10, 25) = {reloaded.single_pair(10, 25):.4f}")
 
+    # ------------------------------------------------------------------ #
+    # Serving queries: batch + cache instead of one-shot library calls.
+    # ------------------------------------------------------------------ #
+    from repro import ServiceParams
+    from repro.service import PairQuery, QueryService, TopKQuery
+
+    # Cold-start a service from the persisted index (no re-indexing); the
+    # cache keeps each hot source's walk distributions resident and the
+    # batch API answers queries sharing a source from one simulation.
+    service = QueryService.from_index_file(
+        graph, "/tmp/cloudwalker-quickstart-index.npz",
+        service_params=ServiceParams(cache_capacity=512, max_batch_size=128),
+    )
+    batch = [PairQuery(10, 25), PairQuery(25, 10), TopKQuery(10, k=5),
+             PairQuery(10, 77)]
+    answers = service.run_batch(batch)
+    print(f"\nservice batch: s(10, 25)={answers[0]:.4f} "
+          f"s(25, 10)={answers[1]:.4f} s(10, 77)={answers[3]:.4f}")
+    # A repeated batch is served from the cache — same answers, no new walks.
+    service.run_batch(batch)
+    stats = service.stats()
+    print(f"service stats: {stats['queries']} queries, "
+          f"{stats['sources_simulated']} simulations, "
+          f"cache hit rate {stats['cache_hit_rate']:.0%}")
+
 
 if __name__ == "__main__":
     main()

@@ -16,6 +16,9 @@ The public API is intentionally small; the most common entry points are:
 ``repro.baselines``
     The comparison systems from the paper: naive SimRank, FMT and LIN,
     plus co-citation similarity.
+``repro.service``
+    The online serving layer: batched query execution over a persistently
+    loaded index with an LRU cache of walk distributions.
 
 Quick start::
 
@@ -29,7 +32,7 @@ Quick start::
     print(cw.single_source(3)[:10])
 """
 
-from repro.config import ClusterSpec, SimRankParams
+from repro.config import ClusterSpec, ServiceParams, SimRankParams
 from repro.errors import (
     CloudWalkerError,
     ConfigurationError,
@@ -50,16 +53,23 @@ __all__ = [
     "GraphFormatError",
     "IndexNotBuiltError",
     "NodeNotFoundError",
+    "QueryService",
+    "ServiceParams",
     "SimRankParams",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    # CloudWalker is imported lazily so that light-weight uses of the graph
-    # or engine subpackages do not pull in the whole algorithm stack.
+    # CloudWalker and QueryService are imported lazily so that light-weight
+    # uses of the graph or engine subpackages do not pull in the whole
+    # algorithm stack.
     if name == "CloudWalker":
         from repro.core.cloudwalker import CloudWalker
 
         return CloudWalker
+    if name == "QueryService":
+        from repro.service.service import QueryService
+
+        return QueryService
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

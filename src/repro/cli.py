@@ -15,6 +15,8 @@ Examples
     python -m repro validate --graph graph.tsv --index index.npz
     python -m repro query pair --graph graph.tsv --index index.npz --source 3 --target 17
     python -m repro query topk --graph graph.tsv --index index.npz --source 3 --k 10
+    python -m repro query-batch --graph graph.tsv --index index.npz --queries queries.txt
+    python -m repro serve --graph graph.tsv --index index.npz
 """
 
 from __future__ import annotations
@@ -24,7 +26,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.config import SimRankParams
+from repro.config import ServiceParams, SimRankParams
 from repro.core.cloudwalker import CloudWalker
 from repro.core.index import DiagonalIndex
 from repro.errors import CloudWalkerError
@@ -180,6 +182,109 @@ def _cmd_query(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = ServiceParams()
+    parser.add_argument("--cache-capacity", dest="cache_capacity", type=int,
+                        default=defaults.cache_capacity,
+                        help="walk-distribution cache entries, 0 disables "
+                             "(default: %(default)s)")
+    parser.add_argument("--max-batch-size", dest="max_batch_size", type=int,
+                        default=defaults.max_batch_size,
+                        help="max sources per vectorised walk batch "
+                             "(default: %(default)s)")
+
+
+def _make_service(args: argparse.Namespace):
+    from repro.service import QueryService
+
+    graph = _load_graph(args)
+    service_params = ServiceParams(
+        cache_capacity=args.cache_capacity, max_batch_size=args.max_batch_size
+    )
+    # Parameters default to the ones persisted in the index so a cold-started
+    # service answers exactly like the process that built the index.
+    return QueryService.from_index_file(
+        graph, args.index, service_params=service_params
+    )
+
+
+def _format_answer(query, answer) -> str:
+    from repro.service import PairQuery, SourceQuery
+
+    if isinstance(query, PairQuery):
+        return f"s({query.source}, {query.target}) = {answer:.6f}"
+    if isinstance(query, SourceQuery):
+        return (f"source {query.source}: mean={answer.mean():.6f} "
+                f"max={answer.max():.6f}")
+    ranked = " ".join(f"{node}={score:.6f}" for node, score in answer)
+    return f"topk {query.source} (k={query.k}): {ranked}"
+
+
+def _print_service_stats(service, out) -> None:
+    stats = service.stats()
+    print(f"served {stats['queries']} queries in {stats['batches']} batches "
+          f"({stats['pair_queries']} pair / {stats['source_queries']} source / "
+          f"{stats['topk_queries']} topk)", file=out)
+    print(f"walk simulations: {stats['sources_simulated']} run, "
+          f"{stats['sources_deduplicated']} deduplicated, "
+          f"cache hit rate {stats['cache_hit_rate']:.2%} "
+          f"({stats['cache_size']}/{stats['cache_capacity']} entries)", file=out)
+
+
+def _cmd_query_batch(args: argparse.Namespace, out) -> int:
+    from repro.service import parse_query
+
+    if args.queries == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.queries, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise CloudWalkerError(f"cannot read queries file: {exc}") from exc
+    queries = [parse_query(line, default_k=args.k) for line in lines
+               if line.strip() and not line.lstrip().startswith("#")]
+    if not queries:
+        print("no queries found", file=out)
+        return 2
+    service = _make_service(args)
+    start = time.perf_counter()
+    answers = service.run_batch(queries)
+    elapsed = time.perf_counter() - start
+    for query, answer in zip(queries, answers):
+        print(_format_answer(query, answer), file=out)
+    print(f"answered {len(queries)} queries in {elapsed:.3f}s "
+          f"({len(queries) / max(elapsed, 1e-9):.1f} q/s)", file=out)
+    _print_service_stats(service, out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    from repro.service import parse_query
+
+    service = _make_service(args)
+    print(f"serving SimRank queries over {service.graph.name!r} "
+          f"({service.graph.n_nodes} nodes); one query per line "
+          "('pair i j', 'source i', 'topk i [k]'), 'stats' or 'quit'",
+          file=out)
+    for line in sys.stdin:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower() in ("quit", "exit"):
+            break
+        if line.lower() == "stats":
+            _print_service_stats(service, out)
+            continue
+        try:
+            query = parse_query(line, default_k=args.k)
+            print(_format_answer(query, service.run_batch([query])[0]), file=out)
+        except CloudWalkerError as exc:
+            print(f"error: {exc}", file=out)
+    _print_service_stats(service, out)
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Parser wiring
 # --------------------------------------------------------------------------- #
@@ -225,6 +330,32 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--target", type=int)
     query.add_argument("--k", type=int, default=10)
 
+    query_batch = subparsers.add_parser(
+        "query-batch",
+        help="answer a file of queries as one deduplicated, cached batch",
+    )
+    _add_graph_arguments(query_batch)
+    _add_service_arguments(query_batch)
+    query_batch.add_argument("--index", required=True)
+    query_batch.add_argument(
+        "--queries", required=True,
+        help="file of query lines ('pair i j' | 'source i' | 'topk i [k]'); "
+             "'-' reads stdin",
+    )
+    query_batch.add_argument("--k", type=int, default=10,
+                             help="default k for 'topk i' lines without one")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="interactive query service: read query lines from stdin "
+             "against a persistently loaded index",
+    )
+    _add_graph_arguments(serve)
+    _add_service_arguments(serve)
+    serve.add_argument("--index", required=True)
+    serve.add_argument("--k", type=int, default=10,
+                       help="default k for 'topk i' lines without one")
+
     return parser
 
 
@@ -235,6 +366,8 @@ _COMMANDS = {
     "index": _cmd_index,
     "validate": _cmd_validate,
     "query": _cmd_query,
+    "query-batch": _cmd_query_batch,
+    "serve": _cmd_serve,
 }
 
 

@@ -1,10 +1,14 @@
 """Configuration objects for CloudWalker.
 
-Two dataclasses are defined here:
+The dataclasses defined here:
 
 :class:`SimRankParams`
     The algorithmic parameters of CloudWalker, with the paper's default
     values (Table "default parameters": c=0.6, T=10, L=3, R=100, R'=10000).
+
+:class:`ServiceParams`
+    Knobs of the online query service: walk-distribution cache capacity and
+    batch-planning limits (see :mod:`repro.service`).
 
 :class:`ClusterSpec`
     A description of the (simulated) cluster used by the engine's cost
@@ -115,6 +119,59 @@ class SimRankParams:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimRankParams":
+        """Reconstruct parameters from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ServiceParams:
+    """Knobs of the online query service (:mod:`repro.service`).
+
+    Attributes
+    ----------
+    cache_capacity:
+        Maximum number of per-source walk distributions kept in the LRU
+        cache.  ``0`` disables caching entirely (every query re-simulates).
+    max_batch_size:
+        Maximum number of distinct sources simulated in one vectorised
+        multi-source walk batch; larger batches amortise per-step overhead
+        but increase peak memory (``sources * walkers`` walker slots).
+    default_top_k:
+        ``k`` used by top-k queries that do not specify one.
+    """
+
+    cache_capacity: int = 1024
+    max_batch_size: int = 256
+    default_top_k: int = 10
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 0:
+            raise ConfigurationError(
+                f"cache_capacity must be >= 0, got {self.cache_capacity}"
+            )
+        if self.max_batch_size < 1:
+            raise ConfigurationError(
+                f"max_batch_size must be >= 1, got {self.max_batch_size}"
+            )
+        if self.default_top_k < 1:
+            raise ConfigurationError(
+                f"default_top_k must be >= 1, got {self.default_top_k}"
+            )
+
+    def with_(self, **changes: Any) -> "ServiceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict representation (used by service stats)."""
+        return {
+            "cache_capacity": self.cache_capacity,
+            "max_batch_size": self.max_batch_size,
+            "default_top_k": self.default_top_k,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceParams":
         """Reconstruct parameters from :meth:`to_dict` output."""
         return cls(**data)
 

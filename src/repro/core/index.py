@@ -9,7 +9,9 @@ queries with "instant response".
 
 from __future__ import annotations
 
+import contextlib
 import os
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -110,10 +112,36 @@ class DiagonalIndex:
     # Persistence
     # ------------------------------------------------------------------ #
     def save(self, path: PathLike) -> None:
-        """Save the index as a compressed ``.npz`` file."""
+        """Save the index as a compressed ``.npz`` file.
+
+        The write is atomic (temp file + rename in the target directory), so
+        a query service cold-starting from ``path`` can never observe a
+        half-written index even if a concurrent re-index crashes mid-save.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            # np.savez would append the suffix itself; do it explicitly so
+            # the rename below targets the file load() will be pointed at.
+            path = path.with_name(path.name + ".npz")
         params = self.params.to_dict()
+        # A unique temp name keeps concurrent savers from truncating each
+        # other's in-progress writes; whichever rename lands last wins with
+        # a complete file either way.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name + ".", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                self._write_npz(handle, params)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+
+    def _write_npz(self, handle, params: Dict[str, Any]) -> None:
         np.savez_compressed(
-            Path(path),
+            handle,
             diagonal=self.diagonal,
             graph_name=np.array(self.graph_name),
             n_nodes=np.array(self.n_nodes, dtype=np.int64),

@@ -84,6 +84,38 @@ def estimate_walk_distributions(
     )
 
 
+def estimate_walk_distributions_batch(
+    graph: DiGraph,
+    sources: List[int],
+    params: SimRankParams,
+    walkers: Optional[int] = None,
+) -> Dict[int, WalkDistributions]:
+    """Monte-Carlo estimates for many sources in one vectorised simulation.
+
+    Each source's result is bitwise-identical to
+    :func:`estimate_walk_distributions` called with its default ``rng`` (the
+    ``(params.seed, source)`` stream), so batching — and any cache built on
+    top of it — can never change a query answer.  Duplicate sources are
+    simulated once.
+    """
+    walkers_count = walkers if walkers is not None else params.query_walkers
+    batch_counts = walks.simulate_walks_batch(
+        graph, sources, walkers_count, params.walk_steps, params.seed
+    )
+    return {
+        source: WalkDistributions(
+            source=int(source),
+            steps=params.walk_steps,
+            walkers=walkers_count,
+            per_step=[
+                (nodes, counts.astype(np.float64) / walkers_count)
+                for nodes, counts in per_step
+            ],
+        )
+        for source, per_step in batch_counts.items()
+    }
+
+
 def exact_walk_distributions(
     graph: DiGraph, source: int, params: SimRankParams
 ) -> WalkDistributions:

@@ -34,6 +34,23 @@ from repro.core.index import DiagonalIndex
 from repro.graph.digraph import DiGraph
 
 
+def rank_top_k(scores: np.ndarray, node: int, k: int,
+               include_self: bool = False) -> List[Tuple[int, float]]:
+    """Rank a single-source score vector into a top-``k`` list.
+
+    Shared by :meth:`QueryEngine.top_k` and the query service so both rank
+    identically (stable sort, self excluded unless ``include_self``).
+    """
+    if not include_self:
+        scores = scores.copy()
+        scores[node] = -np.inf
+    k = min(k, len(scores))
+    candidates = np.argpartition(-scores, kth=k - 1)[:k] if k > 0 else np.array([], dtype=int)
+    ranked = candidates[np.argsort(-scores[candidates], kind="stable")]
+    return [(int(candidate), float(scores[candidate])) for candidate in ranked
+            if np.isfinite(scores[candidate])]
+
+
 class QueryEngine:
     """Answers SimRank queries against a graph + diagonal index.
 
@@ -89,7 +106,7 @@ class QueryEngine:
         dist_j = montecarlo.estimate_walk_distributions(
             self.graph, node_j, self.params, rng=self._next_rng(node_j), walkers=walkers
         )
-        return self._combine_pair(dist_i, dist_j)
+        return self.combine_pair(dist_i, dist_j)
 
     def exact_single_pair(self, node_i: int, node_j: int) -> float:
         """Exact linearized ``s(i, j)`` (no Monte-Carlo), for validation."""
@@ -99,10 +116,11 @@ class QueryEngine:
             return 1.0
         dist_i = montecarlo.exact_walk_distributions(self.graph, node_i, self.params)
         dist_j = montecarlo.exact_walk_distributions(self.graph, node_j, self.params)
-        return self._combine_pair(dist_i, dist_j)
+        return self.combine_pair(dist_i, dist_j)
 
-    def _combine_pair(self, dist_i: montecarlo.WalkDistributions,
-                      dist_j: montecarlo.WalkDistributions) -> float:
+    def combine_pair(self, dist_i: montecarlo.WalkDistributions,
+                     dist_j: montecarlo.WalkDistributions) -> float:
+        """Score a pair from two walk distributions (shared with the service)."""
         decay = 1.0
         total = 0.0
         for step in range(self.params.walk_steps + 1):
@@ -122,16 +140,16 @@ class QueryEngine:
         distributions = montecarlo.estimate_walk_distributions(
             self.graph, node, self.params, rng=self._next_rng(node), walkers=walkers
         )
-        return self._propagate_source(node, distributions)
+        return self.propagate_source(node, distributions)
 
     def exact_single_source(self, node: int) -> np.ndarray:
         """Exact linearized single-source scores, for validation."""
         node = self.graph.check_node(node)
         distributions = montecarlo.exact_walk_distributions(self.graph, node, self.params)
-        return self._propagate_source(node, distributions)
+        return self.propagate_source(node, distributions)
 
-    def _propagate_source(self, node: int,
-                          distributions: montecarlo.WalkDistributions) -> np.ndarray:
+    def propagate_source(self, node: int,
+                         distributions: montecarlo.WalkDistributions) -> np.ndarray:
         """Combine walk distributions into single-source scores.
 
         Uses the reverse-Horner recurrence
@@ -158,14 +176,7 @@ class QueryEngine:
               include_self: bool = False) -> List[Tuple[int, float]]:
         """Top-``k`` most similar nodes to ``node`` by MCSS scores."""
         scores = self.single_source(node, walkers=walkers)
-        if not include_self:
-            scores = scores.copy()
-            scores[node] = -np.inf
-        k = min(k, self.graph.n_nodes)
-        candidates = np.argpartition(-scores, kth=k - 1)[:k] if k > 0 else np.array([], dtype=int)
-        ranked = candidates[np.argsort(-scores[candidates], kind="stable")]
-        return [(int(candidate), float(scores[candidate])) for candidate in ranked
-                if np.isfinite(scores[candidate])]
+        return rank_top_k(scores, node, k, include_self=include_self)
 
     # ------------------------------------------------------------------ #
     # All-pairs queries

@@ -13,7 +13,7 @@ dead walker is encoded as position ``-1``.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -136,6 +136,103 @@ def single_source_walk_counts(
         if t < steps:
             positions = step_walkers(graph, positions, rng)
     return result
+
+
+def simulate_walks_batch(
+    graph: DiGraph,
+    sources: Union[Sequence[int], np.ndarray],
+    walkers_per_source: int,
+    steps: int,
+    seed: Optional[int],
+) -> Dict[int, List[Tuple[np.ndarray, np.ndarray]]]:
+    """Simulate walks for many sources in one vectorised pass.
+
+    Returns ``{source: per_step}`` where ``per_step[t]`` is the same
+    ``(nodes, counts)`` pair :func:`single_source_walk_counts` produces.  The
+    result for each source is bitwise-identical to::
+
+        single_source_walk_counts(graph, source, walkers_per_source, steps,
+                                  make_rng(seed, stream=source))
+
+    because every source consumes its own ``(seed, source)`` random stream —
+    the stream :func:`repro.core.montecarlo.estimate_walk_distributions` uses
+    by default.  Batching therefore never changes query answers; it only
+    amortises the per-step indexing work (degree lookups, neighbour gathers,
+    per-node aggregation) across all sources' walkers at once, which is what
+    makes the query service's grouped execution worthwhile.
+
+    Duplicate entries in ``sources`` are collapsed; each distinct source is
+    simulated exactly once.
+    """
+    if walkers_per_source < 1:
+        raise ValueError(f"walkers_per_source must be >= 1, got {walkers_per_source}")
+    unique_sources = np.unique(np.asarray(sources, dtype=np.int64))
+    if len(unique_sources) == 0:
+        return {}
+    for source in unique_sources:
+        graph.check_node(int(source))
+    rngs = [make_rng(seed, stream=int(source)) for source in unique_sources]
+    n_sources = len(unique_sources)
+    n_nodes = np.int64(graph.n_nodes)
+    indptr, indices = graph.in_csr
+
+    # Walkers live in one flat array of contiguous per-source blocks, so the
+    # within-block walker order matches the single-source simulation exactly.
+    positions = np.repeat(unique_sources, walkers_per_source)
+    source_index = np.repeat(np.arange(n_sources, dtype=np.int64), walkers_per_source)
+    results: Dict[int, List[Tuple[np.ndarray, np.ndarray]]] = {
+        int(source): [] for source in unique_sources
+    }
+    empty = (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+
+    for t in range(steps + 1):
+        alive = positions != DEAD
+        # Per-(source, node) aggregation in one np.unique over packed keys;
+        # splitting at source boundaries recovers each source's sorted
+        # (nodes, counts) pair — the same output np.unique gives per source.
+        keys = source_index[alive] * n_nodes + positions[alive]
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        key_sources = unique_keys // n_nodes
+        boundaries = np.searchsorted(key_sources, np.arange(n_sources + 1))
+        for k in range(n_sources):
+            lo, hi = boundaries[k], boundaries[k + 1]
+            if lo == hi:
+                results[int(unique_sources[k])].append(empty)
+            else:
+                results[int(unique_sources[k])].append(
+                    ((unique_keys[lo:hi] % n_nodes).astype(np.int64),
+                     counts[lo:hi].astype(np.int64))
+                )
+        if t == steps or not alive.any():
+            break
+
+        # One vectorised step for all sources; only the uniform draws are
+        # made per source so each block replays its own random stream.
+        new_positions = np.full_like(positions, DEAD)
+        alive_idx = np.flatnonzero(alive)
+        current = positions[alive_idx]
+        starts = indptr[current]
+        degrees = indptr[current + 1] - starts
+        has_neighbors = degrees > 0
+        moving_idx = alive_idx[has_neighbors]
+        if len(moving_idx):
+            draws_per_source = np.bincount(
+                source_index[moving_idx], minlength=n_sources
+            )
+            uniforms = np.concatenate(
+                [rngs[k].random(int(count)) for k, count in enumerate(draws_per_source)]
+            )
+            chosen_offset = (uniforms * degrees[has_neighbors]).astype(np.int64)
+            new_positions[moving_idx] = indices[starts[has_neighbors] + chosen_offset]
+        positions = new_positions
+
+    # Sources whose walkers all died early get empty tails, mirroring the
+    # single-source early-exit path.
+    for source in unique_sources:
+        tail = results[int(source)]
+        while len(tail) < steps + 1:
+            tail.append(empty)
+    return results
 
 
 def exact_walk_distributions(graph: DiGraph, source: int, steps: int) -> List[np.ndarray]:

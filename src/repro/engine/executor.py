@@ -18,6 +18,7 @@ backend returns their results in order.  Three backends are provided:
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -89,6 +90,20 @@ class ProcessBackend(ExecutorBackend):
         self.max_workers = max_workers
 
     def run(self, tasks: Sequence[Task]) -> List[T]:
+        # Fail fast on unpicklable tasks: submitting one anyway would only
+        # surface as an opaque PicklingError from a worker future, after the
+        # pool has already been spun up.  The check pickles each task a
+        # second time; that cost is accepted for the early, named diagnostic.
+        for position, task in enumerate(tasks):
+            try:
+                pickle.dumps(task)
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"task {position} of {len(tasks)} cannot be sent to the "
+                    f"process backend because it is not picklable ({exc}); "
+                    "use module-level functions instead of closures or "
+                    "lambdas, or switch to the 'serial'/'threads' backend"
+                ) from exc
         # A fresh pool per stage keeps the implementation simple and avoids
         # leaking workers when callers forget to shut the backend down.
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:

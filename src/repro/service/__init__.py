@@ -1,0 +1,45 @@
+"""Online query serving for CloudWalker.
+
+This package turns the one-shot library calls of :mod:`repro.core` into a
+serving layer fit for sustained query traffic:
+
+:mod:`repro.service.cache`
+    An LRU cache of per-source walk distributions keyed on
+    ``(node, steps, walkers, seed)`` — the unit of reuse across queries.
+:mod:`repro.service.batching`
+    Query dataclasses plus the batch planner that deduplicates sources and
+    groups them for vectorised multi-source simulation.
+:mod:`repro.service.service`
+    :class:`QueryService`, tying index persistence, planning, simulation and
+    caching together behind single-query and batch APIs.
+"""
+
+from repro.service.batching import (
+    BatchPlan,
+    PairQuery,
+    Query,
+    SourceQuery,
+    TopKQuery,
+    chunk_sources,
+    parse_query,
+    plan_batch,
+    required_sources,
+)
+from repro.service.cache import CacheKey, CacheStats, WalkDistributionCache
+from repro.service.service import QueryService
+
+__all__ = [
+    "BatchPlan",
+    "CacheKey",
+    "CacheStats",
+    "PairQuery",
+    "Query",
+    "QueryService",
+    "SourceQuery",
+    "TopKQuery",
+    "WalkDistributionCache",
+    "chunk_sources",
+    "parse_query",
+    "plan_batch",
+    "required_sources",
+]

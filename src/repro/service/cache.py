@@ -1,0 +1,140 @@
+"""LRU cache of per-source walk distributions.
+
+The expensive part of every online query is estimating the walk
+distributions ``P^t e_source`` — O(T · R') work per source.  Those
+distributions depend only on ``(node, steps, walkers, seed)``, so under a
+skewed workload (the usual shape of "millions of users" traffic) most
+queries can be answered from previously simulated distributions.  This cache
+makes that reuse explicit and observable: every lookup is accounted as a hit
+or a miss, and evictions are counted so capacity tuning has data to work
+with.
+
+Because the cached value is exactly what the direct Monte-Carlo estimator
+would produce for the same key (see
+:func:`repro.core.montecarlo.estimate_walk_distributions_batch`), a cache
+hit can never change a query answer — only make it cheaper.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.config import SimRankParams
+from repro.core.montecarlo import WalkDistributions
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached walk distribution.
+
+    Two queries share a cache entry exactly when the distribution they need
+    is mathematically identical: same source node, same number of walk
+    steps, same Monte-Carlo budget, and same base seed.
+    """
+
+    node: int
+    steps: int
+    walkers: int
+    seed: Optional[int]
+
+    @classmethod
+    def for_query(cls, node: int, params: SimRankParams, walkers: int) -> "CacheKey":
+        return cls(node=int(node), steps=params.walk_steps, walkers=int(walkers),
+                   seed=params.seed)
+
+
+@dataclass
+class CacheStats:
+    """Counters describing cache effectiveness."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when never used)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "inserts": self.inserts,
+            "hit_rate": self.hit_rate,
+            **self.extras,
+        }
+
+
+class WalkDistributionCache:
+    """Bounded LRU mapping :class:`CacheKey` -> :class:`WalkDistributions`.
+
+    ``capacity`` is the maximum number of distributions kept; 0 disables
+    caching (every lookup misses, nothing is stored).  Recency is updated on
+    both successful lookups and inserts, so a hot source stays resident as
+    long as queries keep touching it.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, WalkDistributions]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        """Membership test without touching recency or the stats counters."""
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[WalkDistributions]:
+        """Return the cached distribution for ``key``, or None on a miss."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, distributions: WalkDistributions) -> None:
+        """Insert (or refresh) a distribution, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = distributions
+        self.stats.inserts += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (the stats counters are kept)."""
+        self._entries.clear()
+
+    def memory_bytes(self) -> int:
+        """Approximate resident payload size of all cached distributions."""
+        total = 0
+        for entry in self._entries.values():
+            for nodes, values in entry.per_step:
+                total += int(nodes.nbytes) + int(values.nbytes)
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkDistributionCache(size={len(self)}, capacity={self.capacity}, "
+            f"hit_rate={self.stats.hit_rate:.2f})"
+        )

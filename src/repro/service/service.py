@@ -1,0 +1,231 @@
+"""The online SimRank query service.
+
+:class:`QueryService` is the serving layer on top of the core query engine:
+it owns a persistently loaded graph + diagonal index, deduplicates and
+batches concurrent queries so distributions shared between them are
+simulated once (:mod:`repro.service.batching`), and keeps an LRU cache of
+per-source walk distributions so repeated traffic skips simulation entirely
+(:mod:`repro.service.cache`).
+
+Determinism is the design invariant: for a fixed seed, every answer the
+service produces — batched, cached, or one-off — is bitwise-identical to the
+direct core computation for the same source nodes, because all three paths
+consume the same per-source ``(seed, source)`` random stream and share the
+scoring code of :class:`repro.core.queries.QueryEngine`.
+
+Example
+-------
+>>> from repro.graph import generators
+>>> from repro.config import SimRankParams
+>>> from repro.core.diagonal import build_diagonal_index
+>>> from repro.service import PairQuery, QueryService, TopKQuery
+>>> graph = generators.copying_model_graph(120, out_degree=5, seed=1)
+>>> params = SimRankParams.fast_defaults()
+>>> service = QueryService(graph, build_diagonal_index(graph, params), params)
+>>> answers = service.run_batch([PairQuery(3, 7), TopKQuery(3, k=5)])
+>>> 0.0 <= answers[0] <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import ServiceParams, SimRankParams
+from repro.core import montecarlo
+from repro.core.index import DiagonalIndex
+from repro.core.montecarlo import WalkDistributions
+from repro.core.queries import QueryEngine, rank_top_k
+from repro.errors import CloudWalkerError
+from repro.graph.digraph import DiGraph
+from repro.service.batching import (
+    BatchPlan,
+    PairQuery,
+    Query,
+    SourceQuery,
+    TopKQuery,
+    chunk_sources,
+    plan_batch,
+)
+from repro.service.cache import CacheKey, WalkDistributionCache
+
+PathLike = Union[str, os.PathLike]
+
+Answer = Any
+"""A query answer: float (pair), ndarray (source) or ranking list (top-k)."""
+
+
+class QueryService:
+    """Batched, cached SimRank query serving over a loaded index.
+
+    Parameters
+    ----------
+    graph:
+        The graph queries run against.
+    index:
+        A built (or loaded) diagonal index; validated against ``graph``.
+    params:
+        Algorithmic parameters; defaults to the parameters the index was
+        built with, which is what keeps answers reproducible across restarts.
+    service_params:
+        Cache capacity and batch-planning knobs.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        index: DiagonalIndex,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+    ) -> None:
+        index.validate_for(graph)
+        self.graph = graph
+        self.index = index
+        self.params = params or index.params
+        self.service_params = service_params or ServiceParams()
+        self.engine = QueryEngine(graph, index, self.params)
+        self.cache = WalkDistributionCache(self.service_params.cache_capacity)
+        self._counters: Dict[str, int] = {
+            "queries": 0, "pair_queries": 0, "source_queries": 0,
+            "topk_queries": 0, "batches": 0, "sources_simulated": 0,
+            "sources_deduplicated": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Cold start
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_index_file(
+        cls,
+        graph: DiGraph,
+        path: PathLike,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+    ) -> "QueryService":
+        """Cold-start a service from a persisted index — no re-indexing.
+
+        The index file carries the parameters it was built with, so a
+        restarted service answers queries identically to the one that
+        built it (provided ``params`` is left at its default).
+        """
+        index = DiagonalIndex.load(path)
+        return cls(graph, index, params=params, service_params=service_params)
+
+    # ------------------------------------------------------------------ #
+    # Batch execution
+    # ------------------------------------------------------------------ #
+    def run_batch(self, queries: Sequence[Query],
+                  walkers: Optional[int] = None) -> List[Answer]:
+        """Answer a batch of queries; answers align with the input order.
+
+        Distinct sources referenced by the batch are resolved once: from the
+        cache when possible, otherwise via chunked multi-source walk
+        simulations.  Answer types by query: :class:`PairQuery` -> float,
+        :class:`SourceQuery` -> dense score vector, :class:`TopKQuery` ->
+        ``[(node, score), ...]``.
+        """
+        queries = list(queries)
+        for query in queries:
+            self._validate_query(query)
+        plan = plan_batch(queries)
+        distributions = self._resolve_distributions(plan, walkers)
+        answers = [self._answer(query, distributions) for query in queries]
+        self._counters["batches"] += 1
+        self._counters["queries"] += len(queries)
+        self._counters["sources_deduplicated"] += plan.deduplicated
+        return answers
+
+    def _validate_query(self, query: Query) -> None:
+        self.graph.check_node(query.source)
+        if isinstance(query, PairQuery):
+            self.graph.check_node(query.target)
+        elif isinstance(query, TopKQuery):
+            if query.k < 1:
+                raise CloudWalkerError(f"topk requires k >= 1, got {query.k}")
+        elif not isinstance(query, SourceQuery):
+            raise CloudWalkerError(f"unknown query type {type(query).__name__!r}")
+
+    def _resolve_distributions(
+        self, plan: BatchPlan, walkers: Optional[int]
+    ) -> Dict[int, WalkDistributions]:
+        walkers_count = walkers if walkers is not None else self.params.query_walkers
+        resolved: Dict[int, WalkDistributions] = {}
+        missing: List[int] = []
+        for source in plan.sources:
+            cached = self.cache.get(CacheKey.for_query(source, self.params, walkers_count))
+            if cached is not None:
+                resolved[source] = cached
+            else:
+                missing.append(source)
+        for chunk in chunk_sources(missing, self.service_params.max_batch_size):
+            simulated = montecarlo.estimate_walk_distributions_batch(
+                self.graph, chunk, self.params, walkers=walkers_count
+            )
+            self._counters["sources_simulated"] += len(simulated)
+            for source, distribution in simulated.items():
+                resolved[source] = distribution
+                self.cache.put(
+                    CacheKey.for_query(source, self.params, walkers_count), distribution
+                )
+        return resolved
+
+    def _answer(self, query: Query,
+                distributions: Dict[int, WalkDistributions]) -> Answer:
+        if isinstance(query, PairQuery):
+            self._counters["pair_queries"] += 1
+            if query.source == query.target:
+                return 1.0
+            return self.engine.combine_pair(
+                distributions[query.source], distributions[query.target]
+            )
+        scores = self.engine.propagate_source(
+            query.source, distributions[query.source]
+        )
+        if isinstance(query, SourceQuery):
+            self._counters["source_queries"] += 1
+            return scores
+        self._counters["topk_queries"] += 1
+        return rank_top_k(scores, query.source, query.k)
+
+    # ------------------------------------------------------------------ #
+    # One-off convenience queries (single-element batches)
+    # ------------------------------------------------------------------ #
+    def single_pair(self, node_i: int, node_j: int,
+                    walkers: Optional[int] = None) -> float:
+        """SimRank score of one pair, served through the cache."""
+        return self.run_batch([PairQuery(node_i, node_j)], walkers=walkers)[0]
+
+    def single_source(self, node: int,
+                      walkers: Optional[int] = None) -> np.ndarray:
+        """Score vector of one source, served through the cache."""
+        return self.run_batch([SourceQuery(node)], walkers=walkers)[0]
+
+    def top_k(self, node: int, k: Optional[int] = None,
+              walkers: Optional[int] = None) -> List:
+        """Top-``k`` ranking for one source, served through the cache."""
+        k = k if k is not None else self.service_params.default_top_k
+        return self.run_batch([TopKQuery(node, k=k)], walkers=walkers)[0]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus cache effectiveness, for logs and tests."""
+        return {
+            **self._counters,
+            "cache_size": len(self.cache),
+            "cache_capacity": self.cache.capacity,
+            "cache_memory_bytes": self.cache.memory_bytes(),
+            **{f"cache_{key}": value
+               for key, value in self.cache.stats.to_dict().items()},
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryService(graph={self.graph.name!r}, n_nodes={self.graph.n_nodes}, "
+            f"queries={self._counters['queries']}, "
+            f"cache_hit_rate={self.cache.stats.hit_rate:.2f})"
+        )

@@ -124,6 +124,62 @@ class TestWalkStepCounts:
         assert len(steps) <= 4
 
 
+class TestSimulateWalksBatch:
+    def test_bitwise_equal_to_single_source(self):
+        graph = generators.copying_model_graph(100, out_degree=4, seed=5)
+        sources = [3, 17, 41]
+        batch = walks.simulate_walks_batch(graph, sources, walkers_per_source=40,
+                                           steps=4, seed=9)
+        for source in sources:
+            direct = walks.single_source_walk_counts(
+                graph, source, walkers=40, steps=4,
+                rng=walks.make_rng(9, stream=source),
+            )
+            assert len(batch[source]) == len(direct) == 5
+            for (batch_nodes, batch_counts), (nodes, counts) in zip(batch[source], direct):
+                assert np.array_equal(batch_nodes, nodes)
+                assert np.array_equal(batch_counts, counts)
+
+    def test_bitwise_equal_with_absorption(self):
+        # Sparse graph: most walkers die early, exercising the empty-tail path.
+        graph = generators.erdos_renyi_graph(30, avg_degree=0.5, seed=3)
+        batch = walks.simulate_walks_batch(graph, list(range(10)),
+                                           walkers_per_source=15, steps=6, seed=2)
+        for source in range(10):
+            direct = walks.single_source_walk_counts(
+                graph, source, walkers=15, steps=6,
+                rng=walks.make_rng(2, stream=source),
+            )
+            for (batch_nodes, batch_counts), (nodes, counts) in zip(batch[source], direct):
+                assert np.array_equal(batch_nodes, nodes)
+                assert np.array_equal(batch_counts, counts)
+
+    def test_duplicate_sources_collapsed(self):
+        graph = generators.cycle_graph(8)
+        batch = walks.simulate_walks_batch(graph, [2, 2, 5, 2], 10, 3, seed=1)
+        assert sorted(batch) == [2, 5]
+
+    def test_counts_conserved_on_cycle(self):
+        graph = generators.cycle_graph(8)
+        batch = walks.simulate_walks_batch(graph, [0, 4], 25, 5, seed=1)
+        for source in (0, 4):
+            for _nodes, counts in batch[source]:
+                assert counts.sum() == 25
+
+    def test_empty_sources(self):
+        graph = generators.cycle_graph(4)
+        assert walks.simulate_walks_batch(graph, [], 10, 3, seed=1) == {}
+
+    def test_invalid_inputs_rejected(self):
+        from repro.errors import NodeNotFoundError
+
+        graph = generators.cycle_graph(4)
+        with pytest.raises(NodeNotFoundError):
+            walks.simulate_walks_batch(graph, [0, 99], 10, 3, seed=1)
+        with pytest.raises(ValueError):
+            walks.simulate_walks_batch(graph, [0], 0, 3, seed=1)
+
+
 class TestExactWalkDistributions:
     def test_matches_transition_powers(self):
         graph = generators.copying_model_graph(40, out_degree=4, seed=2)

@@ -145,5 +145,22 @@ class TestBackends:
         with pytest.raises(ConfigurationError):
             ProcessBackend(max_workers=0)
 
+    def test_process_backend_rejects_unpicklable_closure(self):
+        # A closure over a local lambda cannot be pickled; the backend must
+        # refuse it up front instead of surfacing an opaque worker error.
+        from functools import partial
+
+        local_fn = lambda value: value + 1  # noqa: E731
+        backend = ProcessBackend(max_workers=2)
+        with pytest.raises(ConfigurationError, match="not picklable"):
+            backend.run([partial(_square, 2), lambda: local_fn(1)])
+
+    def test_process_backend_runs_picklable_tasks(self):
+        from functools import partial
+
+        backend = ProcessBackend(max_workers=2)
+        results = backend.run([partial(_square, value) for value in range(4)])
+        assert results == [0, 1, 4, 9]
+
     def test_executor_repr(self):
         assert "SerialBackend" in repr(SerialBackend())

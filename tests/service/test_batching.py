@@ -1,0 +1,82 @@
+"""Batch planning: deduplication, chunking and the query line format."""
+
+import pytest
+
+from repro.errors import CloudWalkerError
+from repro.service import (
+    PairQuery,
+    SourceQuery,
+    TopKQuery,
+    chunk_sources,
+    parse_query,
+    plan_batch,
+    required_sources,
+)
+
+
+class TestRequiredSources:
+    def test_pair_needs_both_endpoints(self):
+        assert required_sources(PairQuery(3, 9)) == (3, 9)
+
+    def test_self_pair_needs_nothing(self):
+        assert required_sources(PairQuery(4, 4)) == ()
+
+    def test_source_and_topk_need_one(self):
+        assert required_sources(SourceQuery(5)) == (5,)
+        assert required_sources(TopKQuery(5, k=3)) == (5,)
+
+    def test_unknown_query_type_rejected(self):
+        with pytest.raises(CloudWalkerError):
+            required_sources("pair 1 2")  # type: ignore[arg-type]
+
+
+class TestPlanBatch:
+    def test_deduplicates_preserving_first_reference_order(self):
+        plan = plan_batch([
+            PairQuery(3, 9), SourceQuery(9), TopKQuery(3, k=5), PairQuery(9, 12),
+        ])
+        assert plan.sources == [3, 9, 12]
+        assert plan.source_references == 6
+        assert plan.deduplicated == 3
+
+    def test_chunks_respect_max_batch_size(self):
+        sources = list(range(10))
+        chunks = chunk_sources(sources, max_batch_size=4)
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+        assert [node for chunk in chunks for node in chunk] == sources
+
+    def test_self_pairs_produce_empty_plan(self):
+        plan = plan_batch([PairQuery(1, 1), PairQuery(2, 2)])
+        assert plan.sources == []
+
+    def test_empty_batch(self):
+        plan = plan_batch([])
+        assert plan.sources == [] and plan.deduplicated == 0
+        assert chunk_sources([], max_batch_size=4) == []
+
+    def test_invalid_max_batch_size_rejected(self):
+        with pytest.raises(CloudWalkerError):
+            chunk_sources([1], max_batch_size=0)
+
+
+class TestParseQuery:
+    def test_pair(self):
+        assert parse_query("pair 3 17") == PairQuery(3, 17)
+
+    def test_source(self):
+        assert parse_query("source 5") == SourceQuery(5)
+
+    def test_topk_with_and_without_k(self):
+        assert parse_query("topk 5 3") == TopKQuery(5, k=3)
+        assert parse_query("topk 5", default_k=7) == TopKQuery(5, k=7)
+
+    def test_case_insensitive_keyword(self):
+        assert parse_query("PAIR 1 2") == PairQuery(1, 2)
+
+    @pytest.mark.parametrize("text", [
+        "", "pair 1", "pair 1 2 3", "source", "topk", "walk 1 2",
+        "pair one two", "topk 5 0",
+    ])
+    def test_malformed_lines_rejected(self, text):
+        with pytest.raises(CloudWalkerError):
+            parse_query(text)

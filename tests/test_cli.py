@@ -144,6 +144,78 @@ class TestStatsIndexValidateQuery:
         assert "broadcasting" in output
 
 
+class TestQueryBatchAndServe:
+    def test_query_batch_from_file(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text(
+            "pair 3 9\npair 9 3\n# comment line\n\nsource 5\ntopk 5 3\n"
+        )
+        code, output = run_cli(
+            "query-batch", "--graph", str(graph_file), "--index", str(index_path),
+            "--queries", str(queries),
+        )
+        assert code == 0
+        assert "s(3, 9)" in output and "s(9, 3)" in output
+        assert "source 5" in output and "topk 5" in output
+        assert "answered 4 queries" in output
+        assert "deduplicated" in output
+
+    def test_query_batch_symmetric_pair_answers_match(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text("pair 3 9\npair 9 3\n")
+        code, output = run_cli(
+            "query-batch", "--graph", str(graph_file), "--index", str(index_path),
+            "--queries", str(queries),
+        )
+        assert code == 0
+        forward = [line for line in output.splitlines() if line.startswith("s(3, 9)")]
+        backward = [line for line in output.splitlines() if line.startswith("s(9, 3)")]
+        assert forward[0].split("=")[1] == backward[0].split("=")[1]
+
+    def test_query_batch_empty_file(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# nothing but comments\n")
+        code, output = run_cli(
+            "query-batch", "--graph", str(graph_file), "--index", str(index_path),
+            "--queries", str(queries),
+        )
+        assert code == 2
+        assert "no queries" in output
+
+    def test_query_batch_malformed_line(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text("pair 3\n")
+        code, output = run_cli(
+            "query-batch", "--graph", str(graph_file), "--index", str(index_path),
+            "--queries", str(queries),
+        )
+        assert code == 1
+        assert "malformed" in output
+
+    def test_serve_loop(self, indexed, monkeypatch):
+        import io as io_module
+        import sys
+
+        graph_file, index_path = indexed
+        monkeypatch.setattr(
+            sys, "stdin",
+            io_module.StringIO("pair 3 9\npair 3 9\nbad query\nstats\nquit\n"),
+        )
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+        )
+        assert code == 0
+        assert output.count("s(3, 9)") == 2
+        assert "error: malformed query" in output
+        assert "served 2 queries" in output
+        # The second identical query was a cache hit.
+        assert "hit rate 50.00%" in output
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         import os

@@ -8,7 +8,9 @@ randomly generated graphs and inputs:
 * SimRank estimates always live in [0, 1] with unit self-similarity;
 * the indexing linear system is well-formed for any graph;
 * the Jacobi solver converges on diagonally dominant systems;
-* the engine's shuffle operations match their sequential equivalents.
+* the engine's shuffle operations match their sequential equivalents;
+* the query service (batching + caching) is bitwise-equivalent to direct
+  core calls for the same seed.
 """
 
 from typing import List, Tuple
@@ -17,13 +19,14 @@ import numpy as np
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.config import SimRankParams
-from repro.core import linear_system, walks
+from repro.config import ServiceParams, SimRankParams
+from repro.core import linear_system, montecarlo, walks
 from repro.core.diagonal import build_diagonal_index
 from repro.core.jacobi import exact_solve, jacobi_solve
 from repro.core.queries import QueryEngine
 from repro.engine import ClusterContext
 from repro.graph.digraph import DiGraph
+from repro.service import PairQuery, QueryService, SourceQuery
 
 settings.register_profile(
     "repro",
@@ -145,6 +148,72 @@ class TestQueryProperties:
         assert 0.0 <= value <= 1.0
         assert engine.single_pair(node_i, node_i) == 1.0
         scores = engine.single_source(node_i)
+        assert scores.shape == (graph.n_nodes,)
+        assert (scores >= 0.0).all() and (scores <= 1.0).all()
+        assert scores[node_i] == 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Service invariants
+# --------------------------------------------------------------------------- #
+class TestServiceProperties:
+    @staticmethod
+    def _params(seed: int) -> SimRankParams:
+        return SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=3,
+                             index_walkers=25, query_walkers=40, seed=seed)
+
+    @given(graphs(max_nodes=14, max_edges=50), st.data())
+    def test_batch_walks_bitwise_equal_to_single_source(self, graph, data):
+        seed = data.draw(st.integers(min_value=0, max_value=10_000))
+        n_sources = data.draw(st.integers(min_value=1, max_value=min(4, graph.n_nodes)))
+        sources = data.draw(
+            st.lists(st.integers(min_value=0, max_value=graph.n_nodes - 1),
+                     min_size=n_sources, max_size=n_sources)
+        )
+        batch = walks.simulate_walks_batch(graph, sources, walkers_per_source=12,
+                                           steps=3, seed=seed)
+        for source in set(sources):
+            direct = walks.single_source_walk_counts(
+                graph, source, walkers=12, steps=3,
+                rng=walks.make_rng(seed, stream=source),
+            )
+            for (batch_nodes, batch_counts), (nodes, counts) in zip(batch[source], direct):
+                assert np.array_equal(batch_nodes, nodes)
+                assert np.array_equal(batch_counts, counts)
+
+    @given(graphs(max_nodes=12, max_edges=45), st.data())
+    def test_service_bitwise_equal_to_direct_core_calls(self, graph, data):
+        seed = data.draw(st.integers(min_value=0, max_value=1_000))
+        params = self._params(seed)
+        index = build_diagonal_index(graph, params)
+        engine = QueryEngine(graph, index, params)
+        service = QueryService(graph, index, params,
+                               ServiceParams(cache_capacity=8, max_batch_size=3))
+        node_i = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        node_j = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        pair, scores = service.run_batch([PairQuery(node_i, node_j),
+                                          SourceQuery(node_i)])
+        dist_i = montecarlo.estimate_walk_distributions(graph, node_i, params)
+        if node_i == node_j:
+            assert pair == 1.0
+        else:
+            dist_j = montecarlo.estimate_walk_distributions(graph, node_j, params)
+            assert pair == engine.combine_pair(dist_i, dist_j)
+        assert np.array_equal(scores, engine.propagate_source(node_i, dist_i))
+        # Cached re-ask answers identically.
+        assert service.single_pair(node_i, node_j) == pair
+        assert np.array_equal(service.single_source(node_i), scores)
+
+    @given(graphs(max_nodes=12, max_edges=45), st.data())
+    def test_service_scores_stay_in_unit_interval(self, graph, data):
+        params = self._params(seed=5)
+        index = build_diagonal_index(graph, params)
+        service = QueryService(graph, index, params)
+        node_i = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        node_j = data.draw(st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        assert 0.0 <= service.single_pair(node_i, node_j) <= 1.0
+        assert service.single_pair(node_i, node_i) == 1.0
+        scores = service.single_source(node_i)
         assert scores.shape == (graph.n_nodes,)
         assert (scores >= 0.0).all() and (scores <= 1.0).all()
         assert scores[node_i] == 1.0
