@@ -1,0 +1,183 @@
+"""Live updates — incremental re-index + queries vs full rebuild.
+
+A production service cannot afford to rebuild its index from scratch every
+time the graph gains a few edges.  The live-update path bounds the work by
+the *affected ball* of the edit (the forward BFS ball of the new edges'
+heads, see ``docs/DESIGN.md``): only those index rows are re-estimated, only
+those cache entries are invalidated, and everything else — index rows and
+cached walk distributions alike — is carried over untouched.
+
+This benchmark builds a 1k-node graph of 50 disjoint 20-node communities
+(the shape under which edits stay local), warms a query service, then
+applies a localized edit (≤ 1% new edges, confined to three communities)
+two ways:
+
+``incremental``
+    ``QueryService.add_edges`` + the query workload on the live service:
+    affected rows re-estimated, affected cache entries dropped, the rest
+    of the cache still hot.
+
+``rebuild``
+    A fresh ``QueryService.build`` on the updated graph + the same workload
+    from a cold cache — what a snapshot-oriented deployment would do.
+
+Both paths must produce bitwise-identical answers (the incremental index is
+bitwise-equal to the rebuilt one by construction); the incremental path must
+be at least 5x faster.
+
+Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_incremental_service.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import SimRankParams
+from repro.graph import generators
+from repro.graph.digraph import DiGraph
+from repro.service import PairQuery, QueryService, TopKQuery
+
+N_COMMUNITIES = 50
+COMMUNITY_SIZE = 20
+GRAPH_NODES = N_COMMUNITIES * COMMUNITY_SIZE
+EDITED_COMMUNITIES = 3
+EDGES_PER_EDIT = 4
+N_QUERIES = 80
+MIN_SPEEDUP = 5.0
+
+
+def _edit_edges(rng: np.random.Generator):
+    """New edges confined to the first EDITED_COMMUNITIES communities."""
+    edges = []
+    for community in range(EDITED_COMMUNITIES):
+        base = community * COMMUNITY_SIZE
+        for _ in range(EDGES_PER_EDIT):
+            src, dst = rng.choice(COMMUNITY_SIZE, size=2, replace=False)
+            edges.append((base + int(src), base + int(dst)))
+    return edges
+
+
+def _workload(rng: np.random.Generator):
+    """Pair + top-k queries spread over the whole graph (mostly unaffected)."""
+    queries = []
+    for _ in range(N_QUERIES // 2):
+        i, j = rng.integers(0, GRAPH_NODES, size=2)
+        queries.append(PairQuery(int(i), int(j)))
+        queries.append(TopKQuery(int(rng.integers(0, GRAPH_NODES)), k=10))
+    return queries
+
+
+def incremental_service_experiment():
+    params = SimRankParams(c=0.6, walk_steps=8, jacobi_iterations=3,
+                           index_walkers=100, query_walkers=400, seed=19)
+    graph = generators.community_graph(
+        N_COMMUNITIES, COMMUNITY_SIZE, p_in=0.3, p_out=0.0, seed=19,
+        name="communities",
+    )
+    rng = np.random.default_rng(19)
+    edits = _edit_edges(rng)
+    assert len(edits) <= 0.01 * graph.n_edges, "edit must stay under 1% of edges"
+    queries = _workload(rng)
+
+    # Live service, warmed by the workload once (steady-state cache).
+    service = QueryService.build(graph, params)
+    service.run_batch(queries)
+    warm_hits = service.stats()["cache_hits"]
+
+    # Path A: incremental update + the workload on the still-warm service.
+    start = time.perf_counter()
+    mutation = service.add_edges(edits)
+    incremental_answers = service.run_batch(queries)
+    incremental_seconds = time.perf_counter() - start
+
+    # Path B: full rebuild on the updated graph + the workload, cold.
+    merged = DiGraph(
+        graph.n_nodes,
+        np.vstack([graph.edge_array(),
+                   np.asarray(edits, dtype=np.int64).reshape(-1, 2)]),
+        name=graph.name,
+    )
+    start = time.perf_counter()
+    rebuilt = QueryService.build(merged, params)
+    rebuild_answers = rebuilt.run_batch(queries)
+    rebuild_seconds = time.perf_counter() - start
+
+    mismatches = 0
+    for left, right in zip(incremental_answers, rebuild_answers):
+        if isinstance(left, float):
+            mismatches += left != right
+        else:
+            mismatches += left != right if isinstance(left, list) else not np.array_equal(left, right)
+    speedup = rebuild_seconds / max(incremental_seconds, 1e-9)
+
+    rows = [
+        {
+            "path": "incremental",
+            "seconds": round(incremental_seconds, 4),
+            "rows_estimated": mutation.affected_rows,
+            "cache_entries_dropped": service.stats()["cache_invalidations"],
+            "index_version": incremental_answers.index_version,
+        },
+        {
+            "path": "rebuild",
+            "seconds": round(rebuild_seconds, 4),
+            "rows_estimated": merged.n_nodes,
+            "cache_entries_dropped": "n/a (cold cache)",
+            "index_version": rebuild_answers.index_version,
+        },
+    ]
+    return {
+        "rows": rows,
+        "speedup": speedup,
+        "mismatches": int(mismatches),
+        "edges_added": len(edits),
+        "edge_fraction": len(edits) / graph.n_edges,
+        "affected_rows": mutation.affected_rows,
+        "affected_fraction": mutation.affected_rows / merged.n_nodes,
+        "warm_cache_hits": warm_hits,
+        "graph_nodes": GRAPH_NODES,
+        "n_queries": len(queries),
+    }
+
+
+def _check_and_render(result) -> str:
+    from repro.bench import reporting
+
+    rendered = reporting.format_table(
+        result["rows"],
+        title=(f"Incremental update + {result['n_queries']} queries vs full "
+               f"rebuild — {result['edges_added']} new edges "
+               f"({result['edge_fraction']:.2%}) on a "
+               f"{result['graph_nodes']}-node graph"),
+    )
+    assert result["mismatches"] == 0, (
+        "incrementally updated service diverged from the rebuilt index"
+    )
+    assert result["affected_fraction"] < 0.15, (
+        f"edit was supposed to be localized, but "
+        f"{result['affected_fraction']:.1%} of rows were affected"
+    )
+    assert result["speedup"] >= MIN_SPEEDUP, (
+        f"incremental path is only {result['speedup']:.2f}x faster than a "
+        f"full rebuild (needs >= {MIN_SPEEDUP}x)"
+    )
+    return rendered
+
+
+def test_incremental_service(benchmark, results_dir):
+    from repro.bench import reporting
+
+    result = benchmark.pedantic(incremental_service_experiment, rounds=1, iterations=1)
+    rendered = _check_and_render(result)
+    reporting.save_results("incremental_service", result, rendered, results_dir)
+    print("\n" + rendered)
+
+
+if __name__ == "__main__":
+    outcome = incremental_service_experiment()
+    print(_check_and_render(outcome))
+    print(f"speedup: {outcome['speedup']:.1f}x "
+          f"({outcome['affected_rows']} affected rows, "
+          f"{outcome['affected_fraction']:.1%} of the graph)")

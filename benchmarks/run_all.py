@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Run every benchmark in this directory as a standalone script.
+
+Each ``bench_*.py`` module doubles as a pytest module and a standalone
+script; this runner executes the standalone entry points one by one (each in
+its own interpreter, so a crash cannot take down the suite), reports
+pass/fail plus wall-clock per benchmark, and exits non-zero if any failed —
+the shape a CI job wants.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py            # everything
+    PYTHONPATH=src python benchmarks/run_all.py --only service
+    PYTHONPATH=src python benchmarks/run_all.py --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+SRC_DIR = BENCH_DIR.parent / "src"
+
+
+def discover(only: str = "") -> list:
+    """All bench_*.py scripts, optionally filtered by substring."""
+    return sorted(
+        path for path in BENCH_DIR.glob("bench_*.py") if only in path.name
+    )
+
+
+def run_one(path: Path) -> tuple:
+    """Run one benchmark script; returns (ok, seconds, output)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    start = time.perf_counter()
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, env=env, cwd=str(BENCH_DIR.parent),
+    )
+    elapsed = time.perf_counter() - start
+    output = completed.stdout + completed.stderr
+    return completed.returncode == 0, elapsed, output
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", default="",
+                        help="run only benchmarks whose filename contains this")
+    parser.add_argument("--list", action="store_true",
+                        help="list matching benchmarks and exit")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each benchmark's output, not just failures")
+    args = parser.parse_args(argv)
+
+    benchmarks = discover(args.only)
+    if not benchmarks:
+        print(f"no benchmarks match {args.only!r}")
+        return 2
+    if args.list:
+        for path in benchmarks:
+            print(path.name)
+        return 0
+
+    failures = 0
+    for path in benchmarks:
+        ok, elapsed, output = run_one(path)
+        status = "ok" if ok else "FAILED"
+        print(f"{path.name:<40} {status:<7} {elapsed:7.1f}s", flush=True)
+        if args.verbose or not ok:
+            print(output)
+        failures += not ok
+    print(f"{len(benchmarks) - failures}/{len(benchmarks)} benchmarks passed")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Verify that every file path cited by the documentation exists.
+
+Documentation rots when the files it points at move; this checker keeps the
+docs honest by extracting every path-like reference from ``docs/*.md``,
+``README.md`` and the module docstrings that cite ``docs/`` files, and
+failing when a referenced path does not resolve.  It runs inside the test
+suite (``tests/test_docs.py``) and standalone::
+
+    python scripts/check_docs.py            # check, exit 1 on dangling refs
+    python scripts/check_docs.py --verbose  # also list every checked ref
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterator, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Markdown links whose target looks like a relative file path (not a URL).
+_MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
+# Inline-code path references like `src/repro/core/walks.py` or `docs/DESIGN.md`.
+_CODE_PATH = re.compile(r"`([\w./-]+/[\w./-]+\.[A-Za-z0-9]+)`")
+# docs/ citations inside Python docstrings/comments, e.g. ``docs/DESIGN.md``.
+_DOCS_IN_SOURCE = re.compile(r"docs/[\w.-]+\.md")
+
+
+def _doc_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    docs_dir = REPO_ROOT / "docs"
+    if docs_dir.is_dir():
+        files.extend(sorted(docs_dir.glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _iter_markdown_refs(path: Path) -> Iterator[str]:
+    text = path.read_text(encoding="utf-8")
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if "://" not in target:
+            yield target
+    for match in _CODE_PATH.finditer(text):
+        yield match.group(1)
+
+
+def _iter_source_refs() -> Iterator[Tuple[Path, str]]:
+    for source in sorted((REPO_ROOT / "src").rglob("*.py")):
+        for match in _DOCS_IN_SOURCE.finditer(source.read_text(encoding="utf-8")):
+            yield source, match.group(0)
+
+
+def check_docs(verbose: bool = False) -> List[str]:
+    """Return a list of human-readable problems (empty = docs are clean)."""
+    problems: List[str] = []
+    checked = 0
+    for doc in _doc_files():
+        for ref in _iter_markdown_refs(doc):
+            resolved = (doc.parent / ref).resolve() if not ref.startswith("/") \
+                else Path(ref)
+            checked += 1
+            if verbose:
+                print(f"{doc.relative_to(REPO_ROOT)}: {ref}")
+            if not resolved.exists():
+                problems.append(
+                    f"{doc.relative_to(REPO_ROOT)} references {ref!r}, "
+                    f"which does not exist"
+                )
+    for source, ref in _iter_source_refs():
+        checked += 1
+        if verbose:
+            print(f"{source.relative_to(REPO_ROOT)}: {ref}")
+        if not (REPO_ROOT / ref).exists():
+            problems.append(
+                f"{source.relative_to(REPO_ROOT)} cites {ref!r}, "
+                f"which does not exist"
+            )
+    if verbose:
+        print(f"checked {checked} references")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every reference as it is checked")
+    args = parser.parse_args(argv)
+    problems = check_docs(verbose=args.verbose)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"docs OK ({len(_doc_files())} files checked)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

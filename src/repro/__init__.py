@@ -18,7 +18,8 @@ The public API is intentionally small; the most common entry points are:
     plus co-citation similarity.
 ``repro.service``
     The online serving layer: batched query execution over a persistently
-    loaded index with an LRU cache of walk distributions.
+    loaded index with an LRU cache of walk distributions, live edge
+    insertions folded in incrementally, and versioned index snapshots.
 
 Quick start::
 
@@ -32,7 +33,7 @@ Quick start::
     print(cw.single_source(3)[:10])
 """
 
-from repro.config import ClusterSpec, ServiceParams, SimRankParams
+from repro.config import ClusterSpec, ServiceParams, SimRankParams, UpdateParams
 from repro.errors import (
     CloudWalkerError,
     ConfigurationError,
@@ -56,6 +57,7 @@ __all__ = [
     "QueryService",
     "ServiceParams",
     "SimRankParams",
+    "UpdateParams",
     "__version__",
 ]
 

@@ -1,6 +1,6 @@
 """Parameter ablations for CloudWalker's design choices.
 
-DESIGN.md lists the design choices worth ablating: the number of index
+docs/DESIGN.md lists the design choices worth ablating: the number of index
 walkers R, the query walker budget R', the walk truncation T, the number of
 Jacobi iterations L, and the solver used for the linear system.  Each sweep
 here builds the relevant part of the pipeline across a range of values and

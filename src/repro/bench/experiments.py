@@ -5,7 +5,7 @@ Each function returns a JSON-serialisable dict with a ``rows`` (or
 these, render them with :mod:`repro.bench.reporting` and persist the results.
 
 The experiment ids (T1..T5, F1..F3) match the per-experiment index in
-DESIGN.md and the write-up in EXPERIMENTS.md.
+docs/DESIGN.md (section "Per-experiment index").
 """
 
 from __future__ import annotations

@@ -17,6 +17,9 @@ Examples
     python -m repro query topk --graph graph.tsv --index index.npz --source 3 --k 10
     python -m repro query-batch --graph graph.tsv --index index.npz --queries queries.txt
     python -m repro serve --graph graph.tsv --index index.npz
+    python -m repro update --graph graph.tsv --index index.npz \
+        --edges new_edges.tsv --snapshot-dir snapshots/ --output index.npz
+    python -m repro snapshot list --dir snapshots/
 """
 
 from __future__ import annotations
@@ -24,11 +27,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
-from repro.config import ServiceParams, SimRankParams
+from repro.config import ServiceParams, SimRankParams, UpdateParams
 from repro.core.cloudwalker import CloudWalker
-from repro.core.index import DiagonalIndex
+from repro.core.index import DiagonalIndex, SnapshotStore
 from repro.errors import CloudWalkerError
 from repro.graph import datasets, generators, io, stats
 from repro.graph.digraph import DiGraph
@@ -260,12 +263,13 @@ def _cmd_query_batch(args: argparse.Namespace, out) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace, out) -> int:
-    from repro.service import parse_query
+    from repro.service import parse_edge, parse_query
 
     service = _make_service(args)
     print(f"serving SimRank queries over {service.graph.name!r} "
           f"({service.graph.n_nodes} nodes); one query per line "
-          "('pair i j', 'source i', 'topk i [k]'), 'stats' or 'quit'",
+          "('pair i j', 'source i', 'topk i [k]'), 'add i j' to insert an "
+          "edge live, 'version', 'stats' or 'quit'",
           file=out)
     for line in sys.stdin:
         line = line.strip()
@@ -276,12 +280,129 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         if line.lower() == "stats":
             _print_service_stats(service, out)
             continue
+        if line.lower() == "version":
+            print(f"index version {service.index_version}", file=out)
+            continue
         try:
+            if line.lower().startswith("add "):
+                result = service.add_edges([parse_edge(line[4:])])
+                if result is None:
+                    print("edge already present; nothing to do", file=out)
+                else:
+                    print(f"edge added: {result.affected_rows} rows "
+                          f"re-estimated, index now version "
+                          f"{service.index_version}", file=out)
+                continue
             query = parse_query(line, default_k=args.k)
             print(_format_answer(query, service.run_batch([query])[0]), file=out)
         except CloudWalkerError as exc:
             print(f"error: {exc}", file=out)
     _print_service_stats(service, out)
+    return 0
+
+
+def _read_edge_lines(source: str) -> List[Tuple[int, int]]:
+    """Parse an edge file (or stdin for ``-``): one ``src dst`` pair per line."""
+    from repro.service import parse_edge
+
+    if source == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(source, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except OSError as exc:
+            raise CloudWalkerError(f"cannot read edges file: {exc}") from exc
+    return [parse_edge(line) for line in lines
+            if line.strip() and not line.lstrip().startswith("#")]
+
+
+def _cmd_update(args: argparse.Namespace, out) -> int:
+    from repro.service import QueryService
+
+    graph = _load_graph(args)
+    edges = _read_edge_lines(args.edges)
+    if not edges:
+        print("no edges found", file=out)
+        return 2
+    update_params = UpdateParams(snapshot_retain=args.retain)
+    store = SnapshotStore(args.snapshot_dir, retain=args.retain) \
+        if args.snapshot_dir else None
+    if store is not None and store.latest_version() is not None:
+        service = QueryService.from_snapshot(
+            graph, args.snapshot_dir, update_params=update_params
+        )
+        source = f"snapshot v{service.index_version} in {args.snapshot_dir}"
+        if not store.system_path(service.index_version).exists():
+            print("note: snapshot carries no linear system; estimating it once",
+                  file=out)
+    elif args.index:
+        service = QueryService.from_index_file(
+            graph, args.index, update_params=update_params
+        )
+        source = str(args.index)
+        print("note: plain index carries no linear system; estimating it once "
+              "(snapshots avoid this)", file=out)
+    else:
+        raise CloudWalkerError("update requires --index or a non-empty --snapshot-dir")
+
+    start = time.perf_counter()
+    result = service.add_edges(edges)
+    elapsed = time.perf_counter() - start
+    print(f"loaded {source}", file=out)
+    if result is None:
+        print(f"all {len(edges)} edges already present; nothing to update",
+              file=out)
+    else:
+        print(f"applied {result.edges_added} edge insertions in {elapsed:.2f}s: "
+              f"{result.affected_rows}/{service.graph.n_nodes} rows re-estimated "
+              f"({result.new_nodes} new nodes), index now version "
+              f"{service.index_version}", file=out)
+    if store is not None:
+        version, path = service.save_snapshot(args.snapshot_dir)
+        print(f"snapshot v{version} written to {path}", file=out)
+        if result is not None and not args.output_graph:
+            print("warning: snapshot records the UPDATED graph but "
+                  "--output-graph was not given; pass the updated edge list "
+                  "next time or the snapshot will reject the stale graph",
+                  file=out)
+    if args.output:
+        service.index.save(args.output)
+        print(f"updated index written to {args.output}", file=out)
+    if args.output_graph:
+        io.write_edge_list(service.graph, args.output_graph)
+        print(f"updated graph ({service.graph.n_edges} edges) written to "
+              f"{args.output_graph}", file=out)
+    return 0
+
+
+def _cmd_snapshot(args: argparse.Namespace, out) -> int:
+    store = SnapshotStore(args.dir, retain=args.retain)
+    if args.action == "list":
+        versions = store.versions()
+        if not versions:
+            print(f"no snapshots in {args.dir}", file=out)
+            return 0
+        print(f"{'version':<9} {'nodes':<9} {'edges':<10} {'system':<7} path", file=out)
+        for version in versions:
+            info = store.describe(version)
+            has_system = "yes" if info["has_system"] else "no"
+            print(f"{version:<9} {info['n_nodes']:<9} {info['n_edges']:<10} "
+                  f"{has_system:<7} {info['path']}", file=out)
+        return 0
+    if args.action == "save":
+        if not args.index:
+            print("snapshot save requires --index", file=out)
+            return 2
+        version = store.save_snapshot(DiagonalIndex.load(args.index))
+        print(f"snapshot v{version} written to {store.index_path(version)}", file=out)
+        return 0
+    # prune
+    removed = store.prune()
+    if removed:
+        print(f"pruned versions {removed}; kept {store.versions()}", file=out)
+    else:
+        print(f"nothing to prune; kept {store.versions()}", file=out)
     return 0
 
 
@@ -356,6 +477,38 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--k", type=int, default=10,
                        help="default k for 'topk i' lines without one")
 
+    update = subparsers.add_parser(
+        "update",
+        help="insert edges into an indexed graph: incremental re-index of "
+             "affected rows only, with optional versioned snapshots",
+    )
+    _add_graph_arguments(update)
+    update.add_argument(
+        "--edges", required=True,
+        help="file of '<src> <dst>' edge lines to insert; '-' reads stdin",
+    )
+    update.add_argument("--index",
+                        help="index .npz to update (not needed when "
+                             "--snapshot-dir already holds a snapshot)")
+    update.add_argument("--snapshot-dir", dest="snapshot_dir",
+                        help="snapshot directory to resume from and write the "
+                             "updated version into")
+    update.add_argument("--retain", type=int, default=UpdateParams().snapshot_retain,
+                        help="snapshot versions to keep (default: %(default)s)")
+    update.add_argument("--output", help="also write the updated index here")
+    update.add_argument("--output-graph", dest="output_graph",
+                        help="also write the updated edge list here")
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="inspect and manage versioned index snapshots",
+    )
+    snapshot.add_argument("action", choices=["list", "save", "prune"])
+    snapshot.add_argument("--dir", required=True, help="snapshot directory")
+    snapshot.add_argument("--index", help="index .npz to save (snapshot save)")
+    snapshot.add_argument("--retain", type=int, default=UpdateParams().snapshot_retain,
+                          help="snapshot versions to keep (default: %(default)s)")
+
     return parser
 
 
@@ -368,6 +521,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "query-batch": _cmd_query_batch,
     "serve": _cmd_serve,
+    "update": _cmd_update,
+    "snapshot": _cmd_snapshot,
 }
 
 

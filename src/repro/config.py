@@ -10,6 +10,11 @@ The dataclasses defined here:
     Knobs of the online query service: walk-distribution cache capacity and
     batch-planning limits (see :mod:`repro.service`).
 
+:class:`UpdateParams`
+    Knobs of the service's live-update path: the pending-edge queue bound,
+    snapshot cadence/retention and the exact-re-estimation switch (see
+    :mod:`repro.service.updates`).
+
 :class:`ClusterSpec`
     A description of the (simulated) cluster used by the engine's cost
     model.  The paper's testbed was 10 machines, each with 16 cores, 377 GB
@@ -172,6 +177,90 @@ class ServiceParams:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ServiceParams":
+        """Reconstruct parameters from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class UpdateParams:
+    """Knobs of the service's live-update path (:mod:`repro.service.updates`).
+
+    Attributes
+    ----------
+    max_pending_edges:
+        Upper bound on edges queued via ``QueryService.add_edges(...,
+        defer=True)`` before the queue is drained eagerly; bounds the
+        staleness a deferred update can accumulate and the memory the queue
+        can hold.  A single deferred batch larger than the bound is applied
+        immediately instead of queued.
+    max_node_growth:
+        Upper bound on how far beyond the current node-id range a single
+        inserted edge may point.  Inserting ``(u, v)`` implicitly creates
+        every node up to ``max(u, v)``, so one typo or hostile wire line
+        (``add 0 999999999``) could otherwise grow the graph — and the
+        re-index — without bound.
+    snapshot_every:
+        Auto-snapshot the index (and linear system) after every N applied
+        updates; ``0`` disables automatic snapshots.  Requires
+        ``snapshot_dir``.
+    snapshot_retain:
+        How many snapshot versions to keep on disk (older ones are pruned).
+    snapshot_dir:
+        Directory of the service's :class:`repro.core.index.SnapshotStore`;
+        ``None`` means snapshots are only written when a caller passes an
+        explicit directory to ``QueryService.save_snapshot``.
+    exact:
+        Re-estimate affected rows from exact walk distributions instead of
+        Monte-Carlo.  Only feasible for small graphs; used by tests that
+        want updates exactly equal to exact rebuilds.
+    """
+
+    max_pending_edges: int = 10_000
+    max_node_growth: int = 10_000
+    snapshot_every: int = 0
+    snapshot_retain: int = 5
+    snapshot_dir: Optional[str] = None
+    exact: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_pending_edges < 1:
+            raise ConfigurationError(
+                f"max_pending_edges must be >= 1, got {self.max_pending_edges}"
+            )
+        if self.max_node_growth < 0:
+            raise ConfigurationError(
+                f"max_node_growth must be >= 0, got {self.max_node_growth}"
+            )
+        if self.snapshot_every < 0:
+            raise ConfigurationError(
+                f"snapshot_every must be >= 0, got {self.snapshot_every}"
+            )
+        if self.snapshot_retain < 1:
+            raise ConfigurationError(
+                f"snapshot_retain must be >= 1, got {self.snapshot_retain}"
+            )
+        if self.snapshot_every > 0 and self.snapshot_dir is None:
+            raise ConfigurationError(
+                "snapshot_every > 0 requires snapshot_dir to be set"
+            )
+
+    def with_(self, **changes: Any) -> "UpdateParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict representation (used by service stats)."""
+        return {
+            "max_pending_edges": self.max_pending_edges,
+            "max_node_growth": self.max_node_growth,
+            "snapshot_every": self.snapshot_every,
+            "snapshot_retain": self.snapshot_retain,
+            "snapshot_dir": self.snapshot_dir,
+            "exact": self.exact,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "UpdateParams":
         """Reconstruct parameters from :meth:`to_dict` output."""
         return cls(**data)
 

@@ -6,7 +6,7 @@ edge insertion ``u -> v`` only changes the reverse-walk distributions of the
 nodes that can reach the walk through ``v`` — i.e. the nodes reachable from
 ``v`` along at most ``T`` forward edges.  This module implements that
 observation as an incremental maintainer (a natural extension of the paper's
-system; listed as such in DESIGN.md):
+system; listed as such in ``docs/DESIGN.md``):
 
 1. keep the assembled linear system ``A`` from the last build;
 2. on ``add_edges``, compute the affected source set by a bounded forward
@@ -17,7 +17,11 @@ system; listed as such in DESIGN.md):
 
 For localized updates this costs a small fraction of a full rebuild while
 producing an index that is statistically indistinguishable from one built
-from scratch.
+from scratch.  With ``stream_per_source=True`` (the query service's
+configuration) the guarantee is stronger: every row is estimated from its
+own ``(seed, source)`` random stream, so the updated index is
+*bitwise-identical* to one built from scratch on the updated graph — see
+``docs/architecture.md`` for the full versioning contract.
 """
 
 from __future__ import annotations
@@ -43,22 +47,12 @@ def affected_sources(graph: DiGraph, changed_heads: Iterable[int], steps: int) -
     A reverse walk from source ``i`` visits ``v`` within ``T`` steps exactly
     when there is a forward path ``v -> ... -> i`` of length at most ``T``,
     so the affected set is the forward BFS ball of radius ``T`` around the
-    changed heads (including the heads themselves).
+    changed heads (including the heads themselves).  Delegates to
+    :func:`repro.core.walks.forward_reachable_set`, the same helper the
+    query service uses for cache invalidation, so "which rows to
+    re-estimate" and "which cache entries to drop" can never disagree.
     """
-    frontier = {graph.check_node(node) for node in changed_heads}
-    affected: Set[int] = set(frontier)
-    for _ in range(steps):
-        next_frontier: Set[int] = set()
-        for node in frontier:
-            for successor in graph.out_neighbors(node):
-                successor = int(successor)
-                if successor not in affected:
-                    affected.add(successor)
-                    next_frontier.add(successor)
-        if not next_frontier:
-            break
-        frontier = next_frontier
-    return affected
+    return walks.forward_reachable_set(graph, changed_heads, steps)
 
 
 class IncrementalCloudWalker:
@@ -74,13 +68,26 @@ class IncrementalCloudWalker:
         Use exact walk distributions instead of Monte-Carlo (small graphs;
         makes incremental results exactly equal to full rebuilds, which the
         tests exploit).
+    stream_per_source:
+        Estimate every row from its own ``(seed, source)`` random stream
+        (:func:`repro.core.linear_system.build_rows_streamed`) instead of
+        one shared stream per update.  Together with ``warm_start=False``
+        this makes incremental updates bitwise-identical to full rebuilds
+        on the updated graph — the mode the query service runs in.
+    warm_start:
+        Start the Jacobi solve of an update from the previous diagonal
+        (faster convergence) instead of the cold-start guess ``1 - c``
+        a fresh build uses.  Disable for bitwise reproducibility.
     """
 
     def __init__(self, graph: DiGraph, params: Optional[SimRankParams] = None,
-                 exact: bool = False) -> None:
+                 exact: bool = False, stream_per_source: bool = False,
+                 warm_start: bool = True) -> None:
         self.graph = graph
         self.params = params or SimRankParams.paper_defaults()
         self.exact = exact
+        self.stream_per_source = stream_per_source
+        self.warm_start = warm_start
         self._system: Optional[sparse.csr_matrix] = None
         self.index: Optional[DiagonalIndex] = None
         self._update_count = 0
@@ -95,6 +102,38 @@ class IncrementalCloudWalker:
                                  update_kind="full-build", affected=self.graph.n_nodes)
         return self.index
 
+    def attach(self, index: DiagonalIndex,
+               system: Optional[sparse.csr_matrix] = None) -> None:
+        """Adopt an existing index (and optionally its linear system).
+
+        Lets a maintainer take over an index that was built elsewhere — a
+        cold-started query service, or a snapshot reloaded from disk — so
+        :meth:`add_edges` can update it incrementally.  If ``system`` is not
+        given (the index file does not carry it), the linear system for the
+        *current* graph is estimated now; this one-time cost is comparable
+        to a rebuild, which is exactly why snapshots persist the system
+        alongside the diagonal (see
+        :meth:`repro.core.index.SnapshotStore.save_snapshot`).
+        """
+        index.validate_for(self.graph)
+        if system is not None:
+            if system.shape != (self.graph.n_nodes, self.graph.n_nodes):
+                raise ConfigurationError(
+                    f"system has shape {system.shape} but the graph has "
+                    f"{self.graph.n_nodes} nodes"
+                )
+            self._system = system.tocsr()
+        else:
+            self._system = self._build_rows(
+                self.graph, range(self.graph.n_nodes)
+            ).tocsr()
+        self.index = index
+
+    @property
+    def system(self) -> Optional[sparse.csr_matrix]:
+        """The maintained linear system ``A`` (None before build/attach)."""
+        return self._system
+
     def _build_rows(self, graph: DiGraph, sources: Iterable[int]) -> sparse.csr_matrix:
         sources = list(sources)
         if self.exact:
@@ -103,8 +142,15 @@ class IncrementalCloudWalker:
             mask[sources] = True
             keep = sparse.diags(mask.astype(np.float64))
             return (keep @ full).tocsr()
-        rng = walks.make_rng(self.params.seed, stream=50_000 + self._update_count)
-        rows, cols, values = linear_system.build_rows(graph, sources, self.params, rng=rng)
+        if self.stream_per_source:
+            rows, cols, values = linear_system.build_rows_streamed(
+                graph, sources, self.params
+            )
+        else:
+            rng = walks.make_rng(self.params.seed, stream=50_000 + self._update_count)
+            rows, cols, values = linear_system.build_rows(
+                graph, sources, self.params, rng=rng
+            )
         return sparse.csr_matrix(
             (values, (rows, cols)), shape=(graph.n_nodes, graph.n_nodes)
         )
@@ -146,14 +192,16 @@ class IncrementalCloudWalker:
     def add_edges(self, new_edges: Sequence[Tuple[int, int]]) -> Dict[str, object]:
         """Insert edges and update the index incrementally.
 
-        Returns a summary dict with the number of affected rows and the
-        update cost; the new graph and index are available as
-        :attr:`graph` / :attr:`index`.
+        Returns a summary dict with the number of affected rows, the
+        affected source set itself (``"affected"``, which the query service
+        turns into its cache-invalidation set) and the update cost; the new
+        graph and index are available as :attr:`graph` / :attr:`index`.
         """
         if self.index is None or self._system is None:
-            raise ConfigurationError("call build() before add_edges()")
+            raise ConfigurationError("call build() or attach() before add_edges()")
         if not new_edges:
-            return {"affected_rows": 0, "update_seconds": 0.0, "new_nodes": 0}
+            return {"affected_rows": 0, "update_seconds": 0.0, "new_nodes": 0,
+                    "affected": frozenset()}
 
         start = time.perf_counter()
         old_n = self.graph.n_nodes
@@ -188,21 +236,36 @@ class IncrementalCloudWalker:
         keep_mask = np.ones(new_n, dtype=np.float64)
         keep_mask[sorted(affected)] = 0.0
         keep = sparse.diags(keep_mask)
-        self._system = (keep @ old_system + fresh_rows).tocsr()
+        spliced = (keep @ old_system + fresh_rows).tocsr()
+        # Zeroed-out affected cells survive the splice as explicit zeros and
+        # the splice arithmetic leaves column indices unsorted; restoring the
+        # canonical CSR a from-scratch build produces makes the solver's
+        # summation order — and hence the solved diagonal — bitwise
+        # reproducible.
+        spliced.eliminate_zeros()
+        spliced.sort_indices()
+        self._system = spliced
 
-        # Warm-start the solve from the previous diagonal.
-        warm = np.full(new_n, 1.0 - self.params.c, dtype=np.float64)
-        warm[:old_n] = self.index.diagonal
+        if self.warm_start:
+            # Warm-start the solve from the previous diagonal.
+            initial: Optional[np.ndarray] = np.full(
+                new_n, 1.0 - self.params.c, dtype=np.float64
+            )
+            initial[:old_n] = self.index.diagonal
+        else:
+            # Cold start, exactly like build(): same guess -> same iterates.
+            initial = None
         monte_carlo_seconds = time.perf_counter() - start
         self.graph = new_graph
         self.index = self._solve(
-            new_graph, self._system, initial=warm,
+            new_graph, self._system, initial=initial,
             seconds_so_far=monte_carlo_seconds,
             update_kind="incremental-add-edges", affected=len(affected),
         )
         return {
             "affected_rows": len(affected),
             "affected_fraction": len(affected) / max(new_n, 1),
+            "affected": frozenset(affected),
             "new_nodes": new_n - old_n,
             "update_seconds": time.perf_counter() - start,
         }

@@ -11,12 +11,14 @@ from __future__ import annotations
 
 import contextlib
 import os
+import re
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
+from scipy import sparse
 
 from repro.config import SimRankParams
 from repro.errors import CloudWalkerError
@@ -25,9 +27,32 @@ from repro.graph.digraph import DiGraph
 PathLike = Union[str, os.PathLike]
 
 
+def atomic_write(path: Path, writer: Callable[[Any], None]) -> None:
+    """Write a file atomically: temp file in the target directory + rename.
+
+    ``writer`` receives an open binary file handle.  A reader pointed at
+    ``path`` can never observe a half-written file even if the writer
+    crashes mid-save; concurrent writers cannot truncate each other's
+    in-progress writes because every writer gets a unique temp name —
+    whichever rename lands last wins with a complete file either way.
+    Shared by :meth:`DiagonalIndex.save` and :class:`SnapshotStore`.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            writer(handle)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
 @dataclass
 class BuildInfo:
-    """Provenance of an index build (used by benchmarks and EXPERIMENTS.md)."""
+    """Provenance of an index build (used by benchmarks; see docs/DESIGN.md)."""
 
     execution_model: str = "local"
     monte_carlo_seconds: float = 0.0
@@ -83,11 +108,24 @@ class DiagonalIndex:
             )
 
     def validate_for(self, graph: DiGraph) -> None:
-        """Raise if the index does not match ``graph``."""
+        """Raise if the index does not match ``graph``.
+
+        Both dimensions of the fingerprint are checked: a graph with the
+        right node count but a different edge count is a *stale* graph (for
+        example, the pre-update edge list paired with a post-update
+        snapshot), and serving it against this index would silently produce
+        answers for a graph that no longer exists.
+        """
         if graph.n_nodes != self.n_nodes:
             raise CloudWalkerError(
                 f"index was built for a graph with {self.n_nodes} nodes but the "
                 f"query graph has {graph.n_nodes}"
+            )
+        if graph.n_edges != self.n_edges:
+            raise CloudWalkerError(
+                f"index was built for a graph with {self.n_edges} edges but the "
+                f"query graph has {graph.n_edges}; the graph is stale relative "
+                f"to this index (or vice versa)"
             )
 
     @property
@@ -124,20 +162,7 @@ class DiagonalIndex:
             # the rename below targets the file load() will be pointed at.
             path = path.with_name(path.name + ".npz")
         params = self.params.to_dict()
-        # A unique temp name keeps concurrent savers from truncating each
-        # other's in-progress writes; whichever rename lands last wins with
-        # a complete file either way.
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=path.name + ".", suffix=".tmp", dir=path.parent
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                self._write_npz(handle, params)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        atomic_write(path, lambda handle: self._write_npz(handle, params))
 
     def _write_npz(self, handle, params: Dict[str, Any]) -> None:
         np.savez_compressed(
@@ -208,3 +233,183 @@ def _parse_literal(text: str) -> Any:
     except ValueError:
         pass
     return text.strip("'\"")
+
+
+# --------------------------------------------------------------------------- #
+# Versioned snapshots
+# --------------------------------------------------------------------------- #
+class SnapshotStore:
+    """Versioned, bounded-retention snapshots of a diagonal index.
+
+    A snapshot directory holds one ``index-v<NNNNNNNN>.npz`` per version
+    (written through the same atomic machinery as :meth:`DiagonalIndex.save`)
+    and, optionally, a ``system-v<NNNNNNNN>.npz`` with the Monte-Carlo
+    linear system ``A`` the index was solved from.  Persisting the system is
+    what makes incremental maintenance survive restarts: a fresh process can
+    :meth:`repro.core.incremental.IncrementalCloudWalker.attach` the loaded
+    system and update it for the cost of the affected rows only, instead of
+    re-estimating every row first.
+
+    Versions are monotonically increasing integers; :meth:`save_snapshot`
+    assigns ``latest + 1`` and prunes snapshots beyond ``retain`` so a
+    long-running update stream cannot fill the disk.
+    """
+
+    _INDEX_PATTERN = re.compile(r"^index-v(\d{8})\.npz$")
+
+    def __init__(self, directory: PathLike, retain: int = 5) -> None:
+        if retain < 1:
+            raise CloudWalkerError(f"snapshot retention must be >= 1, got {retain}")
+        self.directory = Path(directory)
+        self.retain = retain
+
+    # ------------------------------------------------------------------ #
+    def index_path(self, version: int) -> Path:
+        """Path of the index file for ``version``."""
+        return self.directory / f"index-v{version:08d}.npz"
+
+    def system_path(self, version: int) -> Path:
+        """Path of the (optional) linear-system file for ``version``."""
+        return self.directory / f"system-v{version:08d}.npz"
+
+    def versions(self) -> List[int]:
+        """All snapshot versions present on disk, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = self._INDEX_PATTERN.match(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def latest_version(self) -> Optional[int]:
+        """The newest version on disk, or None for an empty store."""
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    # ------------------------------------------------------------------ #
+    def save_snapshot(
+        self,
+        index: DiagonalIndex,
+        system: Optional[sparse.spmatrix] = None,
+        version: Optional[int] = None,
+    ) -> int:
+        """Persist ``index`` (and optionally its system) as a new version.
+
+        Returns the version written.  ``version`` defaults to ``latest + 1``
+        (1 for an empty store); passing an explicit version must not move
+        backwards, so restarted writers cannot silently shadow newer state.
+        """
+        latest = self.latest_version()
+        if version is None:
+            version = (latest or 0) + 1
+        elif latest is not None and version <= latest:
+            raise CloudWalkerError(
+                f"snapshot version must increase: latest is {latest}, got {version}"
+            )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        index.save(self.index_path(version))
+        if system is not None:
+            csr = sparse.csr_matrix(system)
+            atomic_write(
+                self.system_path(version),
+                lambda handle: np.savez_compressed(
+                    handle,
+                    data=csr.data,
+                    indices=csr.indices,
+                    indptr=csr.indptr,
+                    shape=np.asarray(csr.shape, dtype=np.int64),
+                ),
+            )
+        self.prune()
+        return version
+
+    def load(self, version: int) -> DiagonalIndex:
+        """Load the index of a specific version."""
+        return DiagonalIndex.load(self.index_path(version))
+
+    def describe(self, version: int) -> Dict[str, Any]:
+        """Cheap metadata of one snapshot, without loading the diagonal.
+
+        Reads only the scalar entries of the ``.npz`` (lazy per-member
+        access), so listing a directory of large-graph snapshots stays
+        O(versions), not O(versions x index size).
+        """
+        path = self.index_path(version)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                n_nodes, n_edges = int(data["n_nodes"]), int(data["n_edges"])
+        except (OSError, KeyError, ValueError) as exc:
+            raise CloudWalkerError(f"cannot read snapshot {path}: {exc}") from exc
+        return {
+            "version": version,
+            "n_nodes": n_nodes,
+            "n_edges": n_edges,
+            "has_system": self.system_path(version).exists(),
+            "path": str(path),
+        }
+
+    def load_latest(self) -> Tuple[int, DiagonalIndex]:
+        """Load the newest snapshot as ``(version, index)``."""
+        latest = self.latest_version()
+        if latest is None:
+            raise CloudWalkerError(f"no snapshots found in {self.directory}")
+        return latest, self.load(latest)
+
+    def load_system(self, version: Optional[int] = None) -> Optional[sparse.csr_matrix]:
+        """Load the linear system of ``version`` (latest by default).
+
+        Returns None when the snapshot was saved without a system — callers
+        fall back to re-estimating it (see ``IncrementalCloudWalker.attach``).
+        """
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                return None
+        path = self.system_path(version)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                shape = tuple(int(extent) for extent in data["shape"])
+                return sparse.csr_matrix(
+                    (data["data"], data["indices"], data["indptr"]), shape=shape
+                )
+        except (OSError, KeyError, ValueError) as exc:
+            raise CloudWalkerError(f"cannot load system from {path}: {exc}") from exc
+
+    def prune(self, retain: Optional[int] = None) -> List[int]:
+        """Delete all but the newest ``retain`` versions; returns the removed."""
+        retain = retain if retain is not None else self.retain
+        if retain < 1:
+            raise CloudWalkerError(f"snapshot retention must be >= 1, got {retain}")
+        versions = self.versions()
+        removed = versions[:-retain] if len(versions) > retain else []
+        for version in removed:
+            with contextlib.suppress(OSError):
+                self.index_path(version).unlink()
+            with contextlib.suppress(OSError):
+                self.system_path(version).unlink()
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"SnapshotStore(directory={str(self.directory)!r}, "
+            f"versions={self.versions()}, retain={self.retain})"
+        )
+
+
+def save_snapshot(
+    index: DiagonalIndex,
+    directory: PathLike,
+    system: Optional[sparse.spmatrix] = None,
+    retain: int = 5,
+) -> int:
+    """Convenience wrapper: persist one snapshot into ``directory``."""
+    return SnapshotStore(directory, retain=retain).save_snapshot(index, system=system)
+
+
+def load_latest(directory: PathLike) -> Tuple[int, DiagonalIndex]:
+    """Convenience wrapper: load the newest snapshot from ``directory``."""
+    return SnapshotStore(directory).load_latest()

@@ -64,6 +64,22 @@ def build_rows(
         col_chunks.append(node_ids)
         value_chunks.append(factors[step] * probabilities * probabilities)
 
+    return _merge_duplicate_entries(row_chunks, col_chunks, value_chunks, graph.n_nodes)
+
+
+def _merge_duplicate_entries(
+    row_chunks: Sequence[np.ndarray],
+    col_chunks: Sequence[np.ndarray],
+    value_chunks: Sequence[np.ndarray],
+    n_nodes: int,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Merge duplicate (row, col) entries produced by different steps.
+
+    The stable sort keeps each cell's contributions in chunk order, so the
+    per-cell summation order — and therefore the floating-point result — is
+    a function of one row's own chunks only, never of which other rows were
+    estimated alongside it.
+    """
     if not row_chunks:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, np.empty(0, dtype=np.float64)
@@ -71,13 +87,54 @@ def build_rows(
     rows = np.concatenate(row_chunks)
     cols = np.concatenate(col_chunks)
     values = np.concatenate(value_chunks)
-    # Merge duplicate (row, col) entries produced by different steps.
-    keys = rows * np.int64(graph.n_nodes) + cols
+    keys = rows * np.int64(n_nodes) + cols
     order = np.argsort(keys, kind="stable")
     keys, rows, cols, values = keys[order], rows[order], cols[order], values[order]
     unique_keys, start_indices = np.unique(keys, return_index=True)
     summed = np.add.reduceat(values, start_indices)
     return rows[start_indices], cols[start_indices], summed
+
+
+def build_rows_streamed(
+    graph: DiGraph,
+    sources: Sequence[int],
+    params: SimRankParams,
+    walkers: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Like :func:`build_rows`, but every source consumes its own RNG stream.
+
+    Row ``a_i`` is estimated from walks driven by the ``(params.seed, i)``
+    stream — the same per-source stream discipline as
+    :func:`repro.core.walks.simulate_walks_batch` — so the estimate of one
+    row is bitwise-independent of which *other* rows are estimated in the
+    same call.  That independence is what makes incremental maintenance
+    exactly reproducible: re-estimating only the affected rows after an edge
+    insertion yields a system bitwise-identical to estimating every row from
+    scratch on the updated graph (see
+    :meth:`repro.core.incremental.IncrementalCloudWalker`), because the
+    retained rows would have come out identical anyway.
+
+    Slightly slower than :func:`build_rows` (one RNG per source instead of a
+    single shared stream); used where reproducible updates matter more than
+    peak indexing throughput.
+    """
+    walkers_count = walkers if walkers is not None else params.index_walkers
+    factors = discount_factors(params.c, params.walk_steps)
+    batch = walks.simulate_walks_batch(
+        graph, list(sources), walkers_count, params.walk_steps, params.seed
+    )
+    row_chunks: list[np.ndarray] = []
+    col_chunks: list[np.ndarray] = []
+    value_chunks: list[np.ndarray] = []
+    for source in sorted(batch):
+        for step, (nodes, counts) in enumerate(batch[source]):
+            if len(nodes) == 0:
+                continue
+            probabilities = counts.astype(np.float64) / walkers_count
+            row_chunks.append(np.full(len(nodes), source, dtype=np.int64))
+            col_chunks.append(nodes)
+            value_chunks.append(factors[step] * probabilities * probabilities)
+    return _merge_duplicate_entries(row_chunks, col_chunks, value_chunks, graph.n_nodes)
 
 
 def build_system(

@@ -13,13 +13,43 @@ dead walker is encoded as position ``-1``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 import numpy as np
 
 from repro.graph.digraph import DiGraph
 
 DEAD = -1
+
+
+def forward_reachable_set(
+    graph: DiGraph, seeds: Iterable[int], steps: int
+) -> Set[int]:
+    """Nodes reachable from ``seeds`` along at most ``steps`` forward edges.
+
+    This is the *affected-source* set of an in-link change: a reverse walk
+    from source ``i`` can visit a node ``v`` within ``T`` steps exactly when
+    there is a forward path ``v -> ... -> i`` of length at most ``T``, so the
+    sources whose reverse-walk distributions may change when ``In(v)``
+    changes are the forward BFS ball of radius ``T`` around ``v`` (seeds
+    included).  Shared by :mod:`repro.core.incremental` (which rows to
+    re-estimate) and :mod:`repro.service` (which cache entries to
+    invalidate) so both always agree.
+    """
+    frontier = {graph.check_node(node) for node in seeds}
+    reachable: Set[int] = set(frontier)
+    for _ in range(steps):
+        next_frontier: Set[int] = set()
+        for node in frontier:
+            for successor in graph.out_neighbors(node):
+                successor = int(successor)
+                if successor not in reachable:
+                    reachable.add(successor)
+                    next_frontier.add(successor)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return reachable
 
 
 def make_rng(seed: Optional[int], stream: int = 0) -> np.random.Generator:

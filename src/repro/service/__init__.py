@@ -9,9 +9,14 @@ serving layer fit for sustained query traffic:
 :mod:`repro.service.batching`
     Query dataclasses plus the batch planner that deduplicates sources and
     groups them for vectorised multi-source simulation.
+:mod:`repro.service.updates`
+    :class:`GraphMutator`, the live-update path: a bounded queue of edge
+    insertions drained into incremental re-indexes whose affected-source
+    sets drive targeted cache invalidation.
 :mod:`repro.service.service`
-    :class:`QueryService`, tying index persistence, planning, simulation and
-    caching together behind single-query and batch APIs.
+    :class:`QueryService`, tying index persistence, planning, simulation,
+    caching, live updates and versioned snapshots together behind
+    single-query and batch APIs.
 """
 
 from repro.service.batching import (
@@ -21,17 +26,22 @@ from repro.service.batching import (
     SourceQuery,
     TopKQuery,
     chunk_sources,
+    parse_edge,
     parse_query,
     plan_batch,
     required_sources,
 )
 from repro.service.cache import CacheKey, CacheStats, WalkDistributionCache
-from repro.service.service import QueryService
+from repro.service.service import BatchAnswers, QueryService
+from repro.service.updates import GraphMutator, MutationResult
 
 __all__ = [
+    "BatchAnswers",
     "BatchPlan",
     "CacheKey",
     "CacheStats",
+    "GraphMutator",
+    "MutationResult",
     "PairQuery",
     "Query",
     "QueryService",
@@ -39,6 +49,7 @@ __all__ = [
     "TopKQuery",
     "WalkDistributionCache",
     "chunk_sources",
+    "parse_edge",
     "parse_query",
     "plan_batch",
     "required_sources",

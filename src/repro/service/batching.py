@@ -119,6 +119,24 @@ def chunk_sources(sources: Sequence[int], max_batch_size: int) -> List[List[int]
     ]
 
 
+def parse_edge(text: str) -> Tuple[int, int]:
+    """Parse one edge line of the CLI / wire format: ``<src> <dst>``.
+
+    The update counterpart of :func:`parse_query`: the ``serve`` loop's
+    ``add <src> <dst>`` command and the ``update`` subcommand's edge files
+    both go through this, so the two wire formats stay in lockstep.
+    """
+    tokens = text.split()
+    if len(tokens) != 2:
+        raise CloudWalkerError(
+            f"malformed edge line {text!r}; expected '<src> <dst>'"
+        )
+    try:
+        return int(tokens[0]), int(tokens[1])
+    except ValueError as exc:
+        raise CloudWalkerError(f"malformed edge line {text!r}: {exc}") from exc
+
+
 def parse_query(text: str, default_k: int = 10) -> Query:
     """Parse one query line of the CLI / wire format.
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.config import SimRankParams
 from repro.core.montecarlo import WalkDistributions
@@ -54,6 +54,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     inserts: int = 0
+    invalidations: int = 0
     extras: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -71,6 +72,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "inserts": self.inserts,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
             **self.extras,
         }
@@ -120,6 +122,25 @@ class WalkDistributionCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+
+    def invalidate_sources(self, nodes: Iterable[int]) -> int:
+        """Drop every entry whose source node is in ``nodes``; returns the count.
+
+        This is the graph-mutation hook: when edges are inserted, only the
+        sources inside the forward BFS ball of the new edges' heads
+        (:func:`repro.core.walks.forward_reachable_set`) have stale
+        distributions, and a key's node identifies its source — so exactly
+        those entries are removed, across *all* ``(steps, walkers, seed)``
+        variants of each node, and every other entry stays hot.  Removals
+        are counted as ``invalidations``, separately from capacity
+        ``evictions``.
+        """
+        stale_nodes = {int(node) for node in nodes}
+        stale_keys = [key for key in self._entries if key.node in stale_nodes]
+        for key in stale_keys:
+            del self._entries[key]
+        self.stats.invalidations += len(stale_keys)
+        return len(stale_keys)
 
     def clear(self) -> None:
         """Drop every entry (the stats counters are kept)."""

@@ -3,15 +3,25 @@
 :class:`QueryService` is the serving layer on top of the core query engine:
 it owns a persistently loaded graph + diagonal index, deduplicates and
 batches concurrent queries so distributions shared between them are
-simulated once (:mod:`repro.service.batching`), and keeps an LRU cache of
+simulated once (:mod:`repro.service.batching`), keeps an LRU cache of
 per-source walk distributions so repeated traffic skips simulation entirely
-(:mod:`repro.service.cache`).
+(:mod:`repro.service.cache`), and accepts **live edge insertions** that are
+folded into the index incrementally between query batches
+(:mod:`repro.service.updates`).
 
 Determinism is the design invariant: for a fixed seed, every answer the
 service produces — batched, cached, or one-off — is bitwise-identical to the
 direct core computation for the same source nodes, because all three paths
 consume the same per-source ``(seed, source)`` random stream and share the
-scoring code of :class:`repro.core.queries.QueryEngine`.
+scoring code of :class:`repro.core.queries.QueryEngine`.  Updates keep the
+invariant: after any sequence of :meth:`QueryService.add_edges` calls the
+served index is bitwise-identical to one built from scratch on the updated
+graph, and only cache entries inside the update's affected ball are dropped.
+
+Every batch answer carries the service's monotonically increasing
+:attr:`~QueryService.index_version` (see :class:`BatchAnswers`), so callers
+interleaving queries with updates can detect which graph generation an
+answer was computed against.
 
 Example
 -------
@@ -30,13 +40,13 @@ True
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.config import ServiceParams, SimRankParams
+from repro.config import ServiceParams, SimRankParams, UpdateParams
 from repro.core import montecarlo
-from repro.core.index import DiagonalIndex
+from repro.core.index import DiagonalIndex, SnapshotStore
 from repro.core.montecarlo import WalkDistributions
 from repro.core.queries import QueryEngine, rank_top_k
 from repro.errors import CloudWalkerError
@@ -51,11 +61,27 @@ from repro.service.batching import (
     plan_batch,
 )
 from repro.service.cache import CacheKey, WalkDistributionCache
+from repro.service.updates import GraphMutator, MutationResult
 
 PathLike = Union[str, os.PathLike]
 
 Answer = Any
 """A query answer: float (pair), ndarray (source) or ranking list (top-k)."""
+
+
+class BatchAnswers(List[Answer]):
+    """The answers of one batch, tagged with the index version that made them.
+
+    Behaves exactly like the plain list of answers it used to be (indexing,
+    iteration, equality with lists), plus an :attr:`index_version` attribute:
+    the value of :attr:`QueryService.index_version` at the moment the batch
+    executed.  A caller interleaving queries with updates compares versions
+    across batches to detect answers computed against an older graph.
+    """
+
+    def __init__(self, answers: Sequence[Answer], index_version: int) -> None:
+        super().__init__(answers)
+        self.index_version = index_version
 
 
 class QueryService:
@@ -72,6 +98,8 @@ class QueryService:
         built with, which is what keeps answers reproducible across restarts.
     service_params:
         Cache capacity and batch-planning knobs.
+    update_params:
+        Live-update knobs (pending-edge queue bound, snapshot cadence).
     """
 
     def __init__(
@@ -80,18 +108,23 @@ class QueryService:
         index: DiagonalIndex,
         params: Optional[SimRankParams] = None,
         service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
     ) -> None:
         index.validate_for(graph)
         self.graph = graph
         self.index = index
         self.params = params or index.params
         self.service_params = service_params or ServiceParams()
+        self.update_params = update_params or UpdateParams()
         self.engine = QueryEngine(graph, index, self.params)
         self.cache = WalkDistributionCache(self.service_params.cache_capacity)
+        self._mutator: Optional[GraphMutator] = None
+        self._version = 1
         self._counters: Dict[str, int] = {
             "queries": 0, "pair_queries": 0, "source_queries": 0,
             "topk_queries": 0, "batches": 0, "sources_simulated": 0,
-            "sources_deduplicated": 0,
+            "sources_deduplicated": 0, "updates_applied": 0, "edges_added": 0,
+            "snapshots_written": 0,
         }
 
     # ------------------------------------------------------------------ #
@@ -104,6 +137,7 @@ class QueryService:
         path: PathLike,
         params: Optional[SimRankParams] = None,
         service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
     ) -> "QueryService":
         """Cold-start a service from a persisted index — no re-indexing.
 
@@ -112,21 +146,198 @@ class QueryService:
         built it (provided ``params`` is left at its default).
         """
         index = DiagonalIndex.load(path)
-        return cls(graph, index, params=params, service_params=service_params)
+        return cls(graph, index, params=params, service_params=service_params,
+                   update_params=update_params)
+
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+    ) -> "QueryService":
+        """Build an index for ``graph`` and serve it, update-ready.
+
+        The build runs through the incremental maintainer (per-source
+        streams, cold-start solve), so the service keeps the linear system
+        in memory and the first :meth:`add_edges` pays only for its affected
+        rows — unlike a service constructed around a pre-built index, whose
+        first update must re-estimate the system once.
+        """
+        params = params or SimRankParams.paper_defaults()
+        mutator = GraphMutator(graph, params, update_params)
+        index = mutator.build()
+        service = cls(graph, index, params=params, service_params=service_params,
+                      update_params=update_params)
+        service._mutator = mutator
+        return service
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: DiGraph,
+        directory: PathLike,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+    ) -> "QueryService":
+        """Cold-start from the newest snapshot in ``directory``.
+
+        Restores the snapshot's index *and* linear system (when present), so
+        the restarted service resumes incremental updates without
+        re-estimating anything, and continues the version sequence where the
+        snapshotting service left off.  ``graph`` must be the graph the
+        snapshot was taken of.
+        """
+        update_params = update_params or UpdateParams()
+        store = SnapshotStore(directory, retain=update_params.snapshot_retain)
+        version, index = store.load_latest()
+        service = cls(graph, index, params=params, service_params=service_params,
+                      update_params=update_params)
+        service._version = version
+        system = store.load_system(version)
+        if system is not None:
+            mutator = GraphMutator(graph, service.params, update_params)
+            mutator.attach(index, system=system)
+            service._mutator = mutator
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Live updates
+    # ------------------------------------------------------------------ #
+    @property
+    def index_version(self) -> int:
+        """Monotonically increasing generation of the served index.
+
+        Starts at 1 (or at the restored snapshot's version) and increases by
+        one per applied update.  Carried on every :class:`BatchAnswers`, so
+        callers can detect answers computed against a stale graph.
+        """
+        return self._version
+
+    @property
+    def pending_updates(self) -> int:
+        """Edges queued via ``add_edges(..., defer=True)``, not yet applied."""
+        return self._mutator.pending_edges if self._mutator is not None else 0
+
+    def _ensure_mutator(self) -> GraphMutator:
+        if self._mutator is None:
+            # Attaching to a pre-built index estimates the linear system for
+            # the current graph once; from then on updates are incremental.
+            # Services created via build()/from_snapshot() skip this.
+            mutator = GraphMutator(self.graph, self.params, self.update_params)
+            mutator.attach(self.index)
+            self._mutator = mutator
+        return self._mutator
+
+    def add_edges(self, edges: Sequence[Tuple[int, int]],
+                  defer: bool = False) -> Optional[MutationResult]:
+        """Insert edges into the served graph.
+
+        With ``defer=False`` (default) the update — plus anything already
+        queued — is applied now as one incremental re-index.  With
+        ``defer=True`` the edges are only queued; the queue is drained at
+        the start of the next :meth:`run_batch` (or by an explicit
+        :meth:`flush_updates`), so a burst of updates between two query
+        batches costs one combined re-index instead of one each.  The
+        queue is bounded by ``UpdateParams.max_pending_edges``: a deferred
+        batch that would overflow it drains the queue eagerly first, and a
+        single batch larger than the bound is simply applied immediately.
+
+        Edges are validated on this call (negative endpoints, runaway node
+        growth), so a bad edge fails here instead of poisoning the queue.
+        Returns the :class:`~repro.service.updates.MutationResult` of the
+        applied update; None when deferring, or when every submitted edge
+        already existed (a graph no-op: no re-index, no version bump).
+        """
+        mutator = self._ensure_mutator()
+        if defer:
+            if len(edges) > self.update_params.max_pending_edges:
+                # Too large to ever queue: apply now (never lose edges).
+                return self._apply_updates(edges)
+            if (mutator.pending_edges + len(edges)
+                    > self.update_params.max_pending_edges):
+                self.flush_updates()
+            mutator.enqueue(edges)
+            return None
+        return self._apply_updates(edges)
+
+    def flush_updates(self) -> Optional[MutationResult]:
+        """Apply all queued edge insertions as one incremental re-index.
+
+        Swaps in the updated graph + index, invalidates exactly the cache
+        entries of affected sources, and bumps :attr:`index_version`.
+        Returns None when the queue is empty.
+        """
+        if self._mutator is None or self._mutator.pending_edges == 0:
+            return None
+        return self._apply_updates(())
+
+    def _apply_updates(self, edges: Sequence[Tuple[int, int]]) -> Optional[MutationResult]:
+        """Drain the queue plus ``edges`` and swap the result in."""
+        result = self._ensure_mutator().apply(edges)
+        if result is None:
+            return None
+        self.graph = self._mutator.graph
+        self.index = self._mutator.index
+        self.engine = QueryEngine(self.graph, self.index, self.params)
+        self.cache.invalidate_sources(result.affected)
+        self._version += 1
+        self._counters["updates_applied"] += 1
+        self._counters["edges_added"] += result.edges_added
+        self._maybe_auto_snapshot()
+        return result
+
+    def _maybe_auto_snapshot(self) -> None:
+        cadence = self.update_params.snapshot_every
+        if cadence and self._counters["updates_applied"] % cadence == 0:
+            self.save_snapshot()
+
+    def save_snapshot(self, directory: Optional[PathLike] = None) -> Tuple[int, str]:
+        """Persist the served index (and system) at the current version.
+
+        ``directory`` defaults to ``update_params.snapshot_dir``.  Returns
+        ``(version, index_path)``.  Saving the same version twice is a
+        no-op; a directory whose versions are ahead of this service is
+        rejected — it belongs to another service's lineage.
+        """
+        directory = directory if directory is not None else self.update_params.snapshot_dir
+        if directory is None:
+            raise CloudWalkerError(
+                "no snapshot directory: pass one or set UpdateParams.snapshot_dir"
+            )
+        store = SnapshotStore(directory, retain=self.update_params.snapshot_retain)
+        latest = store.latest_version()
+        if latest is not None and latest > self._version:
+            raise CloudWalkerError(
+                f"snapshot directory {directory} is at version {latest}, ahead "
+                f"of this service (version {self._version})"
+            )
+        if latest != self._version:
+            system = self._mutator.system if self._mutator is not None else None
+            store.save_snapshot(self.index, system=system, version=self._version)
+            self._counters["snapshots_written"] += 1
+        return self._version, str(store.index_path(self._version))
 
     # ------------------------------------------------------------------ #
     # Batch execution
     # ------------------------------------------------------------------ #
     def run_batch(self, queries: Sequence[Query],
-                  walkers: Optional[int] = None) -> List[Answer]:
+                  walkers: Optional[int] = None) -> BatchAnswers:
         """Answer a batch of queries; answers align with the input order.
 
-        Distinct sources referenced by the batch are resolved once: from the
-        cache when possible, otherwise via chunked multi-source walk
-        simulations.  Answer types by query: :class:`PairQuery` -> float,
+        Queued graph updates are applied first, so a batch never runs
+        against an index older than updates accepted before it.  Distinct
+        sources referenced by the batch are resolved once: from the cache
+        when possible, otherwise via chunked multi-source walk simulations.
+        Answer types by query: :class:`PairQuery` -> float,
         :class:`SourceQuery` -> dense score vector, :class:`TopKQuery` ->
-        ``[(node, score), ...]``.
+        ``[(node, score), ...]``.  The returned :class:`BatchAnswers` lists
+        the answers in input order and carries the :attr:`index_version`
+        they were computed at.
         """
+        self.flush_updates()
         queries = list(queries)
         for query in queries:
             self._validate_query(query)
@@ -136,7 +347,7 @@ class QueryService:
         self._counters["batches"] += 1
         self._counters["queries"] += len(queries)
         self._counters["sources_deduplicated"] += plan.deduplicated
-        return answers
+        return BatchAnswers(answers, self._version)
 
     def _validate_query(self, query: Query) -> None:
         self.graph.check_node(query.source)
@@ -216,6 +427,8 @@ class QueryService:
         """Serving counters plus cache effectiveness, for logs and tests."""
         return {
             **self._counters,
+            "index_version": self._version,
+            "pending_updates": self.pending_updates,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_memory_bytes": self.cache.memory_bytes(),
@@ -226,6 +439,6 @@ class QueryService:
     def __repr__(self) -> str:
         return (
             f"QueryService(graph={self.graph.name!r}, n_nodes={self.graph.n_nodes}, "
-            f"queries={self._counters['queries']}, "
+            f"version={self._version}, queries={self._counters['queries']}, "
             f"cache_hit_rate={self.cache.stats.hit_rate:.2f})"
         )

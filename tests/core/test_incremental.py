@@ -6,6 +6,7 @@ import pytest
 from repro.config import SimRankParams
 from repro.core.diagonal import build_diagonal_index
 from repro.core.incremental import IncrementalCloudWalker, affected_sources
+from repro.core.walks import forward_reachable_set
 from repro.errors import ConfigurationError
 from repro.graph import generators
 from repro.graph.digraph import DiGraph
@@ -37,6 +38,14 @@ class TestAffectedSources:
     def test_cycle_saturates(self):
         cycle = generators.cycle_graph(4)
         assert affected_sources(cycle, [0], steps=10) == {0, 1, 2, 3}
+
+    def test_delegates_to_shared_bfs_helper(self):
+        # The service's cache invalidation uses forward_reachable_set
+        # directly; both callers must always see the same set.
+        graph = generators.copying_model_graph(40, out_degree=3, seed=9)
+        for heads, steps in ([5], 2), ([1, 17], 4), ([0], 0):
+            assert affected_sources(graph, heads, steps) == \
+                forward_reachable_set(graph, heads, steps)
 
 
 class TestIncrementalExact:
@@ -129,3 +138,82 @@ class TestIncrementalMonteCarlo:
         maintainer.add_edges([(0, 10)])
         assert maintainer.index.build_info.extras["update_kind"] == "incremental-add-edges"
         assert maintainer.index.build_info.extras["affected_rows"] > 0
+
+    def test_result_carries_affected_set(self, graph, params):
+        maintainer = IncrementalCloudWalker(graph, params=params)
+        maintainer.build()
+        info = maintainer.add_edges([(0, 10)])
+        assert info["affected"] == frozenset(
+            forward_reachable_set(maintainer.graph, [10], params.walk_steps)
+        )
+        assert maintainer.add_edges([])["affected"] == frozenset()
+
+
+class TestBitwiseReproducibility:
+    """Per-source streams + cold solves: updates == rebuilds, bitwise."""
+
+    def _fresh(self, graph, params):
+        walker = IncrementalCloudWalker(graph, params=params,
+                                        stream_per_source=True, warm_start=False)
+        walker.build()
+        return walker
+
+    def test_update_bitwise_equal_to_rebuild(self, graph, params):
+        maintainer = self._fresh(graph, params)
+        new_edges = [(0, 30), (5, 42), (17, 3)]
+        maintainer.add_edges(new_edges)
+        merged = DiGraph(
+            graph.n_nodes,
+            np.vstack([graph.edge_array(), np.array(new_edges)]),
+            name=graph.name,
+        )
+        reference = self._fresh(merged, params)
+        assert np.array_equal(maintainer.index.diagonal, reference.index.diagonal)
+        assert np.array_equal(maintainer.system.data, reference.system.data)
+        assert np.array_equal(maintainer.system.indices, reference.system.indices)
+        assert np.array_equal(maintainer.system.indptr, reference.system.indptr)
+
+    def test_chained_updates_with_new_nodes_bitwise_equal(self, graph, params):
+        maintainer = self._fresh(graph, params)
+        batches = [[(2, graph.n_nodes)], [(7, 33), (graph.n_nodes, 1)]]
+        for batch in batches:
+            maintainer.add_edges(batch)
+        merged = DiGraph(
+            graph.n_nodes + 1,
+            np.vstack([graph.edge_array(),
+                       np.array([edge for batch in batches for edge in batch])]),
+            name=graph.name,
+        )
+        reference = self._fresh(merged, params)
+        assert np.array_equal(maintainer.index.diagonal, reference.index.diagonal)
+
+    def test_attach_with_system_resumes_bitwise(self, graph, params):
+        donor = self._fresh(graph, params)
+        adopter = IncrementalCloudWalker(graph, params=params,
+                                         stream_per_source=True, warm_start=False)
+        adopter.attach(donor.index, system=donor.system)
+        new_edges = [(4, 19)]
+        adopter.add_edges(new_edges)
+        donor.add_edges(new_edges)
+        assert np.array_equal(adopter.index.diagonal, donor.index.diagonal)
+
+    def test_attach_without_system_estimates_it(self, graph, params):
+        donor = self._fresh(graph, params)
+        adopter = IncrementalCloudWalker(graph, params=params,
+                                         stream_per_source=True, warm_start=False)
+        adopter.attach(donor.index)
+        assert adopter.system is not None
+        assert np.array_equal(adopter.system.data, donor.system.data)
+
+    def test_attach_validates_shapes(self, graph, params):
+        donor = self._fresh(graph, params)
+        other = generators.cycle_graph(7)
+        adopter = IncrementalCloudWalker(other, params=params)
+        from repro.errors import CloudWalkerError
+
+        with pytest.raises(CloudWalkerError):
+            adopter.attach(donor.index)
+        bad_system = donor.system[:10, :10]
+        adopter_same_graph = IncrementalCloudWalker(graph, params=params)
+        with pytest.raises(ConfigurationError):
+            adopter_same_graph.attach(donor.index, system=bad_system)

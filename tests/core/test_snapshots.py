@@ -1,0 +1,152 @@
+"""Versioned snapshot store: round trips, retention, atomicity."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.config import SimRankParams
+from repro.core.index import (
+    BuildInfo,
+    DiagonalIndex,
+    SnapshotStore,
+    load_latest,
+    save_snapshot,
+)
+from repro.errors import CloudWalkerError
+
+
+@pytest.fixture()
+def index():
+    params = SimRankParams.fast_defaults()
+    return DiagonalIndex(
+        diagonal=np.linspace(0.4, 1.0, 12), params=params,
+        graph_name="toy", n_nodes=12, n_edges=30,
+        build_info=BuildInfo(execution_model="incremental"),
+    )
+
+
+def _bump(index, version):
+    """A distinguishable index payload per version."""
+    return DiagonalIndex(
+        diagonal=index.diagonal + version * 0.001, params=index.params,
+        graph_name=index.graph_name, n_nodes=index.n_nodes,
+        n_edges=index.n_edges + version, build_info=index.build_info,
+    )
+
+
+class TestRoundTrip:
+    def test_save_load_latest(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert store.save_snapshot(index) == 1
+        version, loaded = store.load_latest()
+        assert version == 1
+        assert np.array_equal(loaded.diagonal, index.diagonal)
+        assert loaded.params == index.params
+
+    def test_versions_assigned_monotonically(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        assert [store.save_snapshot(_bump(index, v)) for v in range(3)] == [1, 2, 3]
+        assert store.versions() == [1, 2, 3]
+        assert store.latest_version() == 3
+
+    def test_load_specific_version(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(_bump(index, 1))
+        store.save_snapshot(_bump(index, 2))
+        assert store.load(1).n_edges == index.n_edges + 1
+        assert store.load(2).n_edges == index.n_edges + 2
+
+    def test_explicit_version_must_increase(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(index, version=5)
+        with pytest.raises(CloudWalkerError):
+            store.save_snapshot(index, version=5)
+        with pytest.raises(CloudWalkerError):
+            store.save_snapshot(index, version=3)
+        assert store.save_snapshot(index, version=9) == 9
+
+    def test_load_latest_empty_store_raises(self, tmp_path):
+        with pytest.raises(CloudWalkerError):
+            SnapshotStore(tmp_path / "nowhere").load_latest()
+        assert SnapshotStore(tmp_path / "nowhere").versions() == []
+
+    def test_describe_reads_metadata_without_full_load(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(index, system=sparse.identity(12, format="csr"))
+        info = store.describe(1)
+        assert info == {
+            "version": 1, "n_nodes": 12, "n_edges": 30,
+            "has_system": True, "path": str(store.index_path(1)),
+        }
+        with pytest.raises(CloudWalkerError):
+            store.describe(99)
+
+    def test_module_level_wrappers(self, index, tmp_path):
+        assert save_snapshot(index, tmp_path) == 1
+        version, loaded = load_latest(tmp_path)
+        assert version == 1
+        assert np.array_equal(loaded.diagonal, index.diagonal)
+
+
+class TestSystemPersistence:
+    def test_system_round_trips_bitwise(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        system = sparse.random(12, 12, density=0.3, random_state=3, format="csr")
+        version = store.save_snapshot(index, system=system)
+        loaded = store.load_system(version)
+        assert loaded is not None
+        assert (loaded != system.tocsr()).nnz == 0
+        assert np.array_equal(loaded.data, system.tocsr().data)
+
+    def test_missing_system_returns_none(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        version = store.save_snapshot(index)
+        assert store.load_system(version) is None
+        assert store.load_system() is None
+
+    def test_load_system_defaults_to_latest(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(index, system=sparse.identity(12, format="csr") * 2.0)
+        store.save_snapshot(_bump(index, 2),
+                            system=sparse.identity(12, format="csr") * 3.0)
+        assert store.load_system().data[0] == 3.0
+
+
+class TestRetention:
+    def test_prune_keeps_newest(self, index, tmp_path):
+        store = SnapshotStore(tmp_path, retain=2)
+        for version in range(4):
+            store.save_snapshot(_bump(index, version),
+                                system=sparse.identity(12, format="csr"))
+        assert store.versions() == [3, 4]
+        # System files of pruned versions are gone too.
+        assert not store.system_path(1).exists()
+        assert store.system_path(4).exists()
+
+    def test_explicit_prune_returns_removed(self, index, tmp_path):
+        store = SnapshotStore(tmp_path, retain=10)
+        for version in range(3):
+            store.save_snapshot(_bump(index, version))
+        assert store.prune(retain=1) == [1, 2]
+        assert store.versions() == [3]
+
+    def test_invalid_retention_rejected(self, tmp_path):
+        with pytest.raises(CloudWalkerError):
+            SnapshotStore(tmp_path, retain=0)
+        with pytest.raises(CloudWalkerError):
+            SnapshotStore(tmp_path).prune(retain=0)
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, index, tmp_path):
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(index, system=sparse.identity(12, format="csr"))
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+    def test_foreign_files_ignored(self, index, tmp_path):
+        (tmp_path / "notes.txt").write_text("not a snapshot")
+        (tmp_path / "index-vBAD.npz").write_bytes(b"")
+        store = SnapshotStore(tmp_path)
+        store.save_snapshot(index)
+        assert store.versions() == [1]

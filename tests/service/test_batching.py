@@ -80,3 +80,18 @@ class TestParseQuery:
     def test_malformed_lines_rejected(self, text):
         with pytest.raises(CloudWalkerError):
             parse_query(text)
+
+
+class TestParseEdge:
+    def test_parses_pairs(self):
+        from repro.service import parse_edge
+
+        assert parse_edge("3 17") == (3, 17)
+        assert parse_edge("  0\t9 ") == (0, 9)
+
+    @pytest.mark.parametrize("text", ["", "1", "1 2 3", "a b", "1 b"])
+    def test_rejects_malformed_lines(self, text):
+        from repro.service import parse_edge
+
+        with pytest.raises(CloudWalkerError):
+            parse_edge(text)

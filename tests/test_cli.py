@@ -215,6 +215,162 @@ class TestQueryBatchAndServe:
         # The second identical query was a cache hit.
         assert "hit rate 50.00%" in output
 
+    def test_serve_loop_live_edge_insertion(self, indexed, monkeypatch):
+        import io as io_module
+        import sys
+
+        graph_file, index_path = indexed
+        monkeypatch.setattr(
+            sys, "stdin",
+            io_module.StringIO(
+                "version\npair 3 9\nadd 2 50\nversion\npair 3 9\n"
+                "add bad\nquit\n"
+            ),
+        )
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+        )
+        assert code == 0
+        assert "index version 1" in output
+        assert "rows re-estimated, index now version 2" in output
+        assert "index version 2" in output
+        assert "error: malformed edge line" in output
+
+
+class TestUpdateAndSnapshot:
+    def test_update_writes_index_and_graph(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("# comment\n2 50\n7 61\n")
+        out_index = tmp_path / "updated.npz"
+        out_graph = tmp_path / "updated.tsv"
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--output", str(out_index),
+            "--output-graph", str(out_graph),
+        )
+        assert code == 0
+        assert "applied 2 edge insertions" in output
+        assert "rows re-estimated" in output
+        assert "version 2" in output
+        assert out_index.exists() and out_graph.exists()
+        # The updated artifacts serve queries on the updated graph.
+        code, output = run_cli(
+            "query", "pair", "--graph", str(out_graph), "--index", str(out_index),
+            "--source", "2", "--target", "50",
+        )
+        assert code == 0
+
+    def test_update_snapshot_resume_round_trip(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        snaps = tmp_path / "snaps"
+        out_graph = tmp_path / "g.tsv"
+        edges_a = tmp_path / "a.tsv"
+        edges_a.write_text("2 50\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges_a), "--snapshot-dir", str(snaps),
+            "--output-graph", str(out_graph),
+        )
+        assert code == 0
+        assert "estimating it once" in output  # plain index has no system
+        assert "snapshot v2 written" in output
+
+        # Second update resumes from the snapshot: no --index, no estimation.
+        edges_b = tmp_path / "b.tsv"
+        edges_b.write_text("2 60\n")
+        code, output = run_cli(
+            "update", "--graph", str(out_graph), "--edges", str(edges_b),
+            "--snapshot-dir", str(snaps), "--output-graph", str(out_graph),
+        )
+        assert code == 0
+        assert "loaded snapshot v2" in output
+        assert "estimating" not in output
+        assert "snapshot v3 written" in output
+
+        code, output = run_cli("snapshot", "list", "--dir", str(snaps))
+        assert code == 0
+        assert "2" in output and "3" in output and "yes" in output
+
+    def test_update_warns_without_output_graph(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("2 50\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--snapshot-dir", str(tmp_path / "snaps"),
+        )
+        assert code == 0
+        assert "warning" in output and "--output-graph" in output
+
+    def test_update_with_already_present_edges_is_noop(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("9 3\n")  # edge exists in the seed-17 copying graph
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges),
+        )
+        assert code == 0
+        assert "already present; nothing to update" in output
+
+    def test_update_requires_index_or_snapshot(self, graph_file, tmp_path):
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("0 1\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--edges", str(edges),
+        )
+        assert code == 1
+        assert "requires --index or" in output
+
+    def test_update_empty_edges(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("# nothing\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges),
+        )
+        assert code == 2
+        assert "no edges" in output
+
+    def test_update_malformed_edges(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("0 1 2\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges),
+        )
+        assert code == 1
+        assert "malformed edge line" in output
+
+    def test_snapshot_save_list_prune(self, indexed, tmp_path):
+        _graph_file, index_path = indexed
+        snaps = tmp_path / "snaps"
+        for _ in range(3):
+            code, output = run_cli(
+                "snapshot", "save", "--dir", str(snaps), "--index", str(index_path),
+            )
+            assert code == 0
+        code, output = run_cli("snapshot", "prune", "--dir", str(snaps),
+                               "--retain", "1")
+        assert code == 0
+        assert "pruned versions [1, 2]" in output
+        code, output = run_cli("snapshot", "list", "--dir", str(snaps))
+        assert code == 0
+        assert "index-v00000003.npz" in output
+
+    def test_snapshot_save_requires_index(self, tmp_path):
+        code, output = run_cli("snapshot", "save", "--dir", str(tmp_path))
+        assert code == 2
+        assert "requires --index" in output
+
+    def test_snapshot_list_empty(self, tmp_path):
+        code, output = run_cli("snapshot", "list", "--dir", str(tmp_path / "none"))
+        assert code == 0
+        assert "no snapshots" in output
+
 
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):

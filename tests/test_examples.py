@@ -51,6 +51,28 @@ def test_link_prediction_example():
     assert "SimRank (CloudWalker)" in output
 
 
+def test_live_updates_example():
+    output = _run_example("live_updates.py")
+    assert "index version 1" in output
+    assert "live update:" in output
+    assert "cache entries invalidated" in output
+    assert "after deferred drain: version 3" in output
+    assert "bitwise-equal to full rebuild: True" in output
+    assert "snapshot v3 written" in output
+    assert "restarted at version 3" in output
+
+
+def test_every_example_has_a_module_docstring():
+    import ast
+
+    for script in sorted(EXAMPLES_DIR.glob("*.py")):
+        tree = ast.parse(script.read_text(encoding="utf-8"))
+        docstring = ast.get_docstring(tree)
+        assert docstring and len(docstring.splitlines()) >= 2, (
+            f"{script.name} needs a real module docstring with usage notes"
+        )
+
+
 @pytest.mark.slow
 def test_cluster_scaling_example():
     output = _run_example("cluster_scaling.py")

@@ -271,3 +271,75 @@ class TestEngineProperties:
         with ClusterContext() as ctx:
             result = ctx.parallelize(values).distinct().collect()
         assert sorted(result) == sorted(set(values))
+
+
+# --------------------------------------------------------------------------- #
+# Live-update invariants
+# --------------------------------------------------------------------------- #
+class TestLiveUpdateProperties:
+    """Service updates: exact invalidation sets, strictly increasing versions."""
+
+    @staticmethod
+    def _params(seed: int) -> SimRankParams:
+        return SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=2,
+                             index_walkers=15, query_walkers=40, seed=seed)
+
+    @given(graphs(max_nodes=15, max_edges=50), st.data())
+    def test_invalidation_set_is_exactly_the_affected_ball(self, graph, data):
+        from repro.core.walks import forward_reachable_set
+        from repro.service.cache import CacheKey
+
+        params = self._params(seed=data.draw(st.integers(0, 500)))
+        service = QueryService.build(graph, params)
+        # Warm every source so the invalidation set is fully observable.
+        service.run_batch([SourceQuery(node) for node in graph.nodes()])
+
+        n_edges = data.draw(st.integers(min_value=1, max_value=4))
+        new_edges = data.draw(st.lists(
+            st.tuples(st.integers(0, graph.n_nodes),   # n_nodes = one new node
+                      st.integers(0, graph.n_nodes)),
+            min_size=n_edges, max_size=n_edges,
+        ))
+        old_nodes = set(graph.nodes())
+        # Edges the graph already contains are no-ops and filtered out.
+        fresh = {(u, v) for u, v in new_edges
+                 if not (u in old_nodes and v in old_nodes and graph.has_edge(u, v))}
+        result = service.add_edges(new_edges)
+
+        if not fresh:
+            assert result is None
+            assert service.index_version == 1
+            return
+        heads = {v for _u, v in fresh}
+        new_nodes = {node for edge in fresh for node in edge} - old_nodes
+        expected = forward_reachable_set(
+            service.graph, heads, params.walk_steps
+        ) | new_nodes
+        assert result.affected == frozenset(expected)
+
+        # Exactly the affected entries were dropped from the cache.
+        walkers = params.query_walkers
+        for node in old_nodes:
+            key = CacheKey.for_query(node, params, walkers)
+            assert (key in service.cache) == (node not in result.affected)
+        assert service.stats()["cache_invalidations"] == \
+            len(result.affected & old_nodes)
+
+    @given(graphs(max_nodes=12, max_edges=40), st.data())
+    def test_versions_strictly_increase_and_tag_batches(self, graph, data):
+        params = self._params(seed=9)
+        service = QueryService.build(graph, params)
+        versions = [service.run_batch([SourceQuery(0)]).index_version]
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            head = data.draw(st.integers(0, graph.n_nodes - 1))
+            tail = data.draw(st.integers(0, graph.n_nodes - 1))
+            applied = service.add_edges([(tail, head)])
+            tagged = service.run_batch([SourceQuery(head)]).index_version
+            if applied is None:
+                assert tagged == versions[-1]  # no-op: version unchanged
+            else:
+                assert tagged == versions[-1] + 1
+                versions.append(tagged)
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+        assert versions[0] == 1 and versions[-1] == service.index_version
