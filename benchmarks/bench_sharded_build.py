@@ -1,0 +1,154 @@
+"""Sharded index build — per-shard critical path vs the single-shard build.
+
+The offline phase is embarrassingly parallel across index rows: every row of
+the linear system is estimated from its own ``(seed, source)`` random
+stream, so a :class:`~repro.graph.partition.ShardPlan` can hand each of
+``K`` shards its rows, build them as independent tasks, and gather — with a
+result *bitwise-identical* to the single-shard build (asserted below for
+every ``K``).
+
+This benchmark accounts the sharded build the same way Figure 2b accounts
+the paper's cluster ("simulated strong scaling"): each shard's row
+estimation is timed as one task, and the build's wall-clock on a
+``K``-worker deployment is the **critical path**
+
+    max(shard task seconds) + gather-and-solve seconds,
+
+because the tasks share nothing until the gather.  On a multi-core machine
+the ``threads``/``processes`` executor backends realise the same win in
+measured wall-clock; this host is pinned to a single core, so the measured
+end-to-end time (also reported) stays flat while the critical path shrinks
+near-linearly until the serial gather+solve share takes over (Amdahl).
+
+Gate: critical-path speedup at K=4 must be >= 2x, and every sharded
+diagonal must equal the single-shard one bitwise.
+
+Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_build.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import SimRankParams
+from repro.graph import generators
+
+GRAPH_NODES = 3_000
+OUT_DEGREE = 6
+WALK_STEPS = 8
+INDEX_WALKERS = 120
+SHARD_COUNTS = (2, 4, 8)
+STRATEGY = "hash"
+MIN_SPEEDUP_AT_4 = 2.0
+SEED = 29
+
+
+def _build(graph, params, num_shards):
+    """Build with ``num_shards``; returns (walker, total_s, critical_path_s)."""
+    from repro.core.sharding import ShardedIncrementalWalker
+    from repro.graph.partition import ShardPlan
+
+    walker = ShardedIncrementalWalker(
+        graph, ShardPlan.for_graph(graph, num_shards, STRATEGY), params=params
+    )
+    start = time.perf_counter()
+    walker.build()
+    total = time.perf_counter() - start
+    shard_seconds = list(walker.shard_build_seconds.values())
+    serial_share = max(total - sum(shard_seconds), 0.0)  # gather + solve
+    critical_path = (max(shard_seconds) if shard_seconds else 0.0) + serial_share
+    return walker, total, critical_path
+
+
+def sharded_build_experiment():
+    from repro.graph.partition import imbalance
+
+    params = SimRankParams(
+        c=0.6, walk_steps=WALK_STEPS, jacobi_iterations=3,
+        index_walkers=INDEX_WALKERS, query_walkers=400, seed=SEED,
+    )
+    graph = generators.copying_model_graph(
+        GRAPH_NODES, out_degree=OUT_DEGREE, seed=SEED, name="sharded-build"
+    )
+
+    # Single-shard reference (same estimator, K=1); best of two runs so the
+    # baseline is not inflated by first-touch allocation noise.
+    _walker, first, _cp = _build(graph, params, 1)
+    reference_walker, second, _cp = _build(graph, params, 1)
+    single_seconds = min(first, second)
+    reference_diagonal = reference_walker.index.diagonal
+
+    rows = [{
+        "shards": 1,
+        "critical_path_seconds": round(single_seconds, 4),
+        "measured_seconds": round(single_seconds, 4),
+        "speedup": 1.0,
+        "efficiency": 1.0,
+        "shard_imbalance": 1.0,
+        "bitwise_identical": True,
+    }]
+    speedups = {1: 1.0}
+    for num_shards in SHARD_COUNTS:
+        walker, total, critical_path = _build(graph, params, num_shards)
+        identical = bool(
+            np.array_equal(walker.index.diagonal, reference_diagonal)
+        )
+        speedup = single_seconds / max(critical_path, 1e-9)
+        speedups[num_shards] = speedup
+        shard_seconds = list(walker.shard_build_seconds.values())
+        rows.append({
+            "shards": num_shards,
+            "critical_path_seconds": round(critical_path, 4),
+            "measured_seconds": round(total, 4),
+            "speedup": round(speedup, 2),
+            "efficiency": round(speedup / num_shards, 2),
+            "shard_imbalance": round(imbalance(shard_seconds), 2),
+            "bitwise_identical": identical,
+        })
+    return {
+        "rows": rows,
+        "speedup_at_4": speedups.get(4, 0.0),
+        "all_identical": all(row["bitwise_identical"] for row in rows),
+        "graph_nodes": graph.n_nodes,
+        "graph_edges": graph.n_edges,
+        "index_walkers": INDEX_WALKERS,
+        "strategy": STRATEGY,
+    }
+
+
+def _check_and_render(result) -> str:
+    from repro.bench import reporting
+
+    rendered = reporting.format_table(
+        result["rows"],
+        title=(f"Sharded index build on a {result['graph_nodes']}-node / "
+               f"{result['graph_edges']}-edge graph "
+               f"(R={result['index_walkers']}, {result['strategy']} shards; "
+               "critical path = K-worker wall-clock)"),
+    )
+    assert result["all_identical"], (
+        "a sharded build diverged bitwise from the single-shard index"
+    )
+    assert result["speedup_at_4"] >= MIN_SPEEDUP_AT_4, (
+        f"critical-path speedup at K=4 is only {result['speedup_at_4']:.2f}x "
+        f"(needs >= {MIN_SPEEDUP_AT_4}x)"
+    )
+    return rendered
+
+
+def test_sharded_build(benchmark, results_dir):
+    from repro.bench import reporting
+
+    result = benchmark.pedantic(sharded_build_experiment, rounds=1, iterations=1)
+    rendered = _check_and_render(result)
+    reporting.save_results("sharded_build", result, rendered, results_dir)
+    print("\n" + rendered)
+
+
+if __name__ == "__main__":
+    outcome = sharded_build_experiment()
+    print(_check_and_render(outcome))
+    print(f"critical-path speedup at K=4: {outcome['speedup_at_4']:.1f}x, "
+          f"answers bitwise-identical: {outcome['all_identical']}")

@@ -1,11 +1,23 @@
 #!/usr/bin/env python3
-"""Verify that every file path cited by the documentation exists.
+"""Verify that documentation references resolve: file paths AND symbols.
 
-Documentation rots when the files it points at move; this checker keeps the
-docs honest by extracting every path-like reference from ``docs/*.md``,
-``README.md`` and the module docstrings that cite ``docs/`` files, and
-failing when a referenced path does not resolve.  It runs inside the test
-suite (``tests/test_docs.py``) and standalone::
+Documentation rots in two ways: the files it points at move, and the code
+symbols it names get renamed.  This checker keeps the docs honest on both
+axes by extracting, from ``docs/*.md``, ``README.md`` and the module
+docstrings that cite ``docs/`` files:
+
+* every path-like reference (markdown links, backticked paths), failing
+  when the path does not exist on disk;
+* every backtick-quoted dotted ``module.symbol`` reference (for example
+  ```repro.service.QueryService``` or ```QueryService.run_batch```),
+  failing when the attribute chain does not resolve against the imported
+  ``repro`` package.  Bare class-rooted references are resolved against a
+  symbol table of every public name exported by ``repro``'s modules;
+  dataclass fields count as attributes.  References whose root is unknown
+  to ``repro`` (``np.ndarray``, ``os.PathLike``, …) are skipped — foreign
+  libraries are not ours to police.
+
+Runs inside the test suite (``tests/test_docs.py``) and standalone::
 
     python scripts/check_docs.py            # check, exit 1 on dangling refs
     python scripts/check_docs.py --verbose  # also list every checked ref
@@ -14,12 +26,18 @@ suite (``tests/test_docs.py``) and standalone::
 from __future__ import annotations
 
 import argparse
+import importlib
+import inspect
+import pkgutil
 import re
 import sys
 from pathlib import Path
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
 
 # Markdown links whose target looks like a relative file path (not a URL).
 _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
@@ -27,6 +45,9 @@ _MD_LINK = re.compile(r"\[[^\]]*\]\(([^)#\s]+)\)")
 _CODE_PATH = re.compile(r"`([\w./-]+/[\w./-]+\.[A-Za-z0-9]+)`")
 # docs/ citations inside Python docstrings/comments, e.g. ``docs/DESIGN.md``.
 _DOCS_IN_SOURCE = re.compile(r"docs/[\w.-]+\.md")
+# Backticked dotted symbol references like `repro.service.QueryService`,
+# `QueryService.run_batch` or `ShardPlan.shard_of()` (no slashes = not a path).
+_CODE_SYMBOL = re.compile(r"`([A-Za-z_]\w*(?:\.[A-Za-z_]\w*)+)(?:\(\))?`")
 
 
 def _doc_files() -> List[Path]:
@@ -51,6 +72,104 @@ def _iter_source_refs() -> Iterator[Tuple[Path, str]]:
     for source in sorted((REPO_ROOT / "src").rglob("*.py")):
         for match in _DOCS_IN_SOURCE.finditer(source.read_text(encoding="utf-8")):
             yield source, match.group(0)
+
+
+def _iter_symbol_refs(path: Path) -> Iterator[str]:
+    """Backticked dotted symbol references of one markdown file."""
+    text = path.read_text(encoding="utf-8")
+    for match in _CODE_SYMBOL.finditer(text):
+        ref = match.group(1)
+        if "/" not in ref:
+            yield ref
+
+
+def _public_symbol_table() -> Dict[str, List[object]]:
+    """Map every public top-level name in ``repro``'s modules to its value(s).
+
+    Used to resolve class-rooted references (```QueryService.run_batch```):
+    the root name is looked up here, then the remaining attribute chain is
+    resolved against each owner until one succeeds.
+    """
+    import repro
+
+    table: Dict[str, List[object]] = {}
+    modules = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            modules.append(importlib.import_module(info.name))
+        except Exception:  # pragma: no cover — an unimportable module is
+            continue       # its own test failure, not a docs problem
+    for module in modules:
+        for name, value in vars(module).items():
+            if not name.startswith("_"):
+                table.setdefault(name, []).append(value)
+    return table
+
+
+def _has_attribute(owner: object, name: str) -> Optional[object]:
+    """Resolve one attribute step, counting dataclass fields as attributes.
+
+    Returns the attribute value (or ``None`` as a sentinel for annotated
+    fields without class-level defaults) — falsy results still count as
+    resolved; the caller only treats an ``AttributeError`` path as failure.
+    Dataclass fields and class-level annotations (the conventional way to
+    declare instance attributes) both count.
+    """
+    if hasattr(owner, name):
+        return getattr(owner, name)
+    if inspect.isclass(owner):
+        if name in getattr(owner, "__dataclass_fields__", {}):
+            return None
+        for klass in inspect.getmro(owner):
+            if name in getattr(klass, "__annotations__", {}):
+                return None
+    raise AttributeError(name)
+
+
+def _resolve_symbol(ref: str, table: Dict[str, List[object]]) -> Optional[str]:
+    """Check one dotted reference; returns a problem string or None.
+
+    ``repro``-rooted references must resolve as import-then-getattr; other
+    roots are looked up in the public symbol table (unknown roots are
+    skipped as foreign).  A resolvable root with a broken attribute chain is
+    always a problem — that is exactly the rename rot this guards against.
+    """
+    parts = ref.split(".")
+    if parts[0] == "repro":
+        prefix = len(parts)
+        module = None
+        while prefix > 0:
+            try:
+                module = importlib.import_module(".".join(parts[:prefix]))
+                break
+            except ImportError:
+                prefix -= 1
+        if module is None:
+            return f"no importable prefix of {ref!r}"
+        owner: object = module
+        try:
+            for name in parts[prefix:]:
+                if owner is None:  # annotated field: cannot check deeper
+                    break
+                owner = _has_attribute(owner, name)
+        except AttributeError as exc:
+            return f"{ref!r} does not resolve: no attribute {exc}"
+        return None
+    owners = table.get(parts[0])
+    if owners is None:
+        return None  # foreign root (np., os., …) — not ours to check
+    for candidate in owners:
+        owner = candidate
+        try:
+            for name in parts[1:]:
+                if owner is None:
+                    break
+                owner = _has_attribute(owner, name)
+        except AttributeError:
+            continue
+        return None
+    return (f"{ref!r} does not resolve: {parts[0]} is a repro symbol but "
+            f"has no attribute path {'.'.join(parts[1:])!r}")
 
 
 def check_docs(verbose: bool = False) -> List[str]:
@@ -78,6 +197,15 @@ def check_docs(verbose: bool = False) -> List[str]:
                 f"{source.relative_to(REPO_ROOT)} cites {ref!r}, "
                 f"which does not exist"
             )
+    table = _public_symbol_table()
+    for doc in _doc_files():
+        for ref in _iter_symbol_refs(doc):
+            checked += 1
+            if verbose:
+                print(f"{doc.relative_to(REPO_ROOT)}: {ref}")
+            problem = _resolve_symbol(ref, table)
+            if problem is not None:
+                problems.append(f"{doc.relative_to(REPO_ROOT)}: {problem}")
     if verbose:
         print(f"checked {checked} references")
     return problems

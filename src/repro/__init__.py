@@ -19,7 +19,8 @@ The public API is intentionally small; the most common entry points are:
 ``repro.service``
     The online serving layer: batched query execution over a persistently
     loaded index with an LRU cache of walk distributions, live edge
-    insertions folded in incrementally, and versioned index snapshots.
+    insertions folded in incrementally, versioned index snapshots, and a
+    sharded scatter-gather deployment (``ShardedQueryService``).
 
 Quick start::
 
@@ -33,7 +34,13 @@ Quick start::
     print(cw.single_source(3)[:10])
 """
 
-from repro.config import ClusterSpec, ServiceParams, SimRankParams, UpdateParams
+from repro.config import (
+    ClusterSpec,
+    ServiceParams,
+    ShardingParams,
+    SimRankParams,
+    UpdateParams,
+)
 from repro.errors import (
     CloudWalkerError,
     ConfigurationError,
@@ -56,6 +63,8 @@ __all__ = [
     "NodeNotFoundError",
     "QueryService",
     "ServiceParams",
+    "ShardedQueryService",
+    "ShardingParams",
     "SimRankParams",
     "UpdateParams",
     "__version__",
@@ -74,4 +83,8 @@ def __getattr__(name: str):
         from repro.service.service import QueryService
 
         return QueryService
+    if name == "ShardedQueryService":
+        from repro.service.sharded import ShardedQueryService
+
+        return ShardedQueryService
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -12,11 +12,13 @@ Examples
     python -m repro generate --model copying --nodes 1000 --output graph.tsv
     python -m repro stats --graph graph.tsv
     python -m repro index --graph graph.tsv --output index.npz --walkers 100
+    python -m repro index --graph graph.tsv --output index.npz --shards 4
     python -m repro validate --graph graph.tsv --index index.npz
     python -m repro query pair --graph graph.tsv --index index.npz --source 3 --target 17
     python -m repro query topk --graph graph.tsv --index index.npz --source 3 --k 10
     python -m repro query-batch --graph graph.tsv --index index.npz --queries queries.txt
     python -m repro serve --graph graph.tsv --index index.npz
+    python -m repro serve --graph graph.tsv --index index.npz --shards 4
     python -m repro update --graph graph.tsv --index index.npz \
         --edges new_edges.tsv --snapshot-dir snapshots/ --output index.npz
     python -m repro snapshot list --dir snapshots/
@@ -29,9 +31,9 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
-from repro.config import ServiceParams, SimRankParams, UpdateParams
+from repro.config import ServiceParams, ShardingParams, SimRankParams, UpdateParams
 from repro.core.cloudwalker import CloudWalker
-from repro.core.index import DiagonalIndex, SnapshotStore
+from repro.core.index import DiagonalIndex, ShardedSnapshotStore, SnapshotStore
 from repro.errors import CloudWalkerError
 from repro.graph import datasets, generators, io, stats
 from repro.graph.digraph import DiGraph
@@ -69,6 +71,49 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--dataset", help="name of a registered dataset stand-in (see 'datasets')"
     )
+
+
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    defaults = ShardingParams()
+    parser.add_argument("--shards", type=int, default=defaults.num_shards,
+                        help="number of index shards K; 1 = single-shard "
+                             "(default: %(default)s)")
+    parser.add_argument("--shard-strategy", dest="shard_strategy",
+                        default=defaults.strategy,
+                        choices=["hash", "contiguous", "partitioner"],
+                        help="node-to-shard assignment (default: %(default)s)")
+    parser.add_argument("--shard-backend", dest="shard_backend",
+                        default=defaults.backend,
+                        choices=["serial", "threads", "processes"],
+                        help="executor backend for concurrent shard builds "
+                             "(default: %(default)s)")
+    parser.add_argument("--shard-workers", dest="shard_workers", type=int,
+                        default=defaults.max_workers,
+                        help="worker bound for threads/processes backends "
+                             "(default: %(default)s)")
+
+
+def _sharding_from_args(args: argparse.Namespace) -> ShardingParams:
+    """Build (and validate) :class:`ShardingParams` from ``--shard-*`` args."""
+    return ShardingParams(
+        num_shards=args.shards,
+        strategy=args.shard_strategy,
+        backend=args.shard_backend,
+        max_workers=args.shard_workers,
+    )
+
+
+def _wants_sharding(args: argparse.Namespace) -> bool:
+    """True when ``--shards`` asks for the sharded path.
+
+    Any value other than the default 1 goes through
+    :class:`ShardingParams` validation, so ``--shards 0`` fails loudly
+    instead of silently serving single-shard.
+    """
+    shards = getattr(args, "shards", 1)
+    if shards != 1:
+        _sharding_from_args(args)
+    return shards != 1
 
 
 def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
@@ -136,6 +181,31 @@ def _cmd_stats(args: argparse.Namespace, out) -> int:
 def _cmd_index(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
     params = _params_from_args(args)
+    if _wants_sharding(args):
+        if args.mode != "local":
+            raise CloudWalkerError(
+                "--shards composes with the default 'local' mode only; the "
+                "'broadcasting'/'rdd' execution models have their own "
+                "partitioning"
+            )
+        from repro.core.sharding import build_sharded_index
+
+        sharding = _sharding_from_args(args)
+        start = time.perf_counter()
+        index, sharded_walker = build_sharded_index(graph, sharding, params=params)
+        elapsed = time.perf_counter() - start
+        index.save(args.output)
+        per_shard = sharded_walker.shard_build_seconds
+        critical_path = max(per_shard.values()) if per_shard else 0.0
+        print(f"indexed {graph.n_nodes} nodes / {graph.n_edges} edges "
+              f"in {elapsed:.2f}s across {sharding.num_shards} "
+              f"{sharding.strategy!r} shards ({sharding.backend} backend); "
+              f"slowest shard {critical_path:.2f}s", file=out)
+        print(f"index written to {args.output} "
+              f"({index.memory_bytes / 1024:.1f} KiB, residual "
+              f"{index.build_info.jacobi_residual:.4f}); bitwise-identical "
+              "for any --shards value", file=out)
+        return 0
     walker = CloudWalker(graph, params=params, mode=args.mode)
     start = time.perf_counter()
     index = walker.build_index()
@@ -198,7 +268,7 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_service(args: argparse.Namespace):
-    from repro.service import QueryService
+    from repro.service import QueryService, ShardedQueryService
 
     graph = _load_graph(args)
     service_params = ServiceParams(
@@ -206,6 +276,11 @@ def _make_service(args: argparse.Namespace):
     )
     # Parameters default to the ones persisted in the index so a cold-started
     # service answers exactly like the process that built the index.
+    if _wants_sharding(args):
+        return ShardedQueryService.from_index_file(
+            graph, args.index, service_params=service_params,
+            sharding=_sharding_from_args(args),
+        )
     return QueryService.from_index_file(
         graph, args.index, service_params=service_params
     )
@@ -266,8 +341,9 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.service import parse_edge, parse_query
 
     service = _make_service(args)
+    sharded = f" across {args.shards} shards" if getattr(args, "shards", 1) > 1 else ""
     print(f"serving SimRank queries over {service.graph.name!r} "
-          f"({service.graph.n_nodes} nodes); one query per line "
+          f"({service.graph.n_nodes} nodes{sharded}); one query per line "
           "('pair i j', 'source i', 'topk i [k]'), 'add i j' to insert an "
           "edge live, 'version', 'stats' or 'quit'",
           file=out)
@@ -317,34 +393,88 @@ def _read_edge_lines(source: str) -> List[Tuple[int, int]]:
             if line.strip() and not line.lstrip().startswith("#")]
 
 
-def _cmd_update(args: argparse.Namespace, out) -> int:
-    from repro.service import QueryService
+def _load_update_service(args: argparse.Namespace, update_params: UpdateParams,
+                         graph: DiGraph, out):
+    """Resolve the service an ``update`` run mutates, plus its description.
 
+    Priority: a non-empty ``--snapshot-dir`` (sharded layout auto-detected
+    from its ``shard_plan.json``) wins over ``--index``; ``--shards K``
+    with a plain index file starts a fresh sharded lineage.
+    """
+    from repro.service import QueryService, ShardedQueryService
+
+    sharding = _sharding_from_args(args)
+    if args.snapshot_dir and ShardedSnapshotStore.is_sharded(args.snapshot_dir):
+        sharded_store = ShardedSnapshotStore(args.snapshot_dir, retain=args.retain)
+        if sharded_store.latest_version() is None:
+            # A crashed first save leaves the plan with no consistent
+            # version; recover from --index under the directory's plan so
+            # the lineage stays writable, instead of hard-failing.
+            if not args.index:
+                raise CloudWalkerError(
+                    f"{args.snapshot_dir} has no consistent sharded snapshot "
+                    "(crashed first save?); pass --index to restart the "
+                    "lineage or use a fresh directory"
+                )
+            plan = sharded_store.load_plan()
+            print(f"note: {args.snapshot_dir} has no consistent sharded "
+                  f"snapshot; restarting the lineage from {args.index} under "
+                  f"its persisted {plan.num_shards}-shard plan", file=out)
+            service = ShardedQueryService.from_index_file(
+                graph, args.index, update_params=update_params,
+                sharding=sharding.with_(num_shards=plan.num_shards,
+                                        strategy=plan.strategy),
+                plan=plan,
+            )
+            return service, f"{args.index} ({plan.num_shards} shards)"
+        service = ShardedQueryService.from_snapshot(
+            graph, args.snapshot_dir, update_params=update_params,
+            sharding=sharding,
+        )
+        if args.shards > 1 and args.shards != service.num_shards:
+            print(f"note: shard plans are immutable; keeping the directory's "
+                  f"{service.num_shards} shards (ignoring --shards "
+                  f"{args.shards})", file=out)
+        return service, (f"sharded snapshot v{service.index_version} "
+                         f"({service.num_shards} shards) in {args.snapshot_dir}")
+    store = SnapshotStore(args.snapshot_dir, retain=args.retain) \
+        if args.snapshot_dir else None
+    if store is not None and store.latest_version() is not None:
+        if _wants_sharding(args):
+            raise CloudWalkerError(
+                f"{args.snapshot_dir} holds a single-shard snapshot lineage; "
+                "drop --shards or start a sharded lineage in a fresh directory"
+            )
+        service = QueryService.from_snapshot(
+            graph, args.snapshot_dir, update_params=update_params
+        )
+        if not store.system_path(service.index_version).exists():
+            print("note: snapshot carries no linear system; estimating it once",
+                  file=out)
+        return service, f"snapshot v{service.index_version} in {args.snapshot_dir}"
+    if args.index:
+        print("note: plain index carries no linear system; estimating it once "
+              "(snapshots avoid this)", file=out)
+        if _wants_sharding(args):
+            service = ShardedQueryService.from_index_file(
+                graph, args.index, update_params=update_params, sharding=sharding
+            )
+            return service, f"{args.index} ({args.shards} shards)"
+        service = QueryService.from_index_file(
+            graph, args.index, update_params=update_params
+        )
+        return service, str(args.index)
+    raise CloudWalkerError("update requires --index or a non-empty --snapshot-dir")
+
+
+def _cmd_update(args: argparse.Namespace, out) -> int:
     graph = _load_graph(args)
     edges = _read_edge_lines(args.edges)
     if not edges:
         print("no edges found", file=out)
         return 2
     update_params = UpdateParams(snapshot_retain=args.retain)
-    store = SnapshotStore(args.snapshot_dir, retain=args.retain) \
-        if args.snapshot_dir else None
-    if store is not None and store.latest_version() is not None:
-        service = QueryService.from_snapshot(
-            graph, args.snapshot_dir, update_params=update_params
-        )
-        source = f"snapshot v{service.index_version} in {args.snapshot_dir}"
-        if not store.system_path(service.index_version).exists():
-            print("note: snapshot carries no linear system; estimating it once",
-                  file=out)
-    elif args.index:
-        service = QueryService.from_index_file(
-            graph, args.index, update_params=update_params
-        )
-        source = str(args.index)
-        print("note: plain index carries no linear system; estimating it once "
-              "(snapshots avoid this)", file=out)
-    else:
-        raise CloudWalkerError("update requires --index or a non-empty --snapshot-dir")
+    service, source = _load_update_service(args, update_params, graph, out)
 
     start = time.perf_counter()
     result = service.add_edges(edges)
@@ -358,7 +488,7 @@ def _cmd_update(args: argparse.Namespace, out) -> int:
               f"{result.affected_rows}/{service.graph.n_nodes} rows re-estimated "
               f"({result.new_nodes} new nodes), index now version "
               f"{service.index_version}", file=out)
-    if store is not None:
+    if args.snapshot_dir:
         version, path = service.save_snapshot(args.snapshot_dir)
         print(f"snapshot v{version} written to {path}", file=out)
         if result is not None and not args.output_graph:
@@ -432,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
     index = subparsers.add_parser("index", help="build the CloudWalker index")
     _add_graph_arguments(index)
     _add_param_arguments(index)
+    _add_sharding_arguments(index)
     index.add_argument("--mode", default="local",
                        choices=["local", "broadcasting", "rdd"],
                        help="execution model (default: %(default)s)")
@@ -473,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_graph_arguments(serve)
     _add_service_arguments(serve)
+    _add_sharding_arguments(serve)
     serve.add_argument("--index", required=True)
     serve.add_argument("--k", type=int, default=10,
                        help="default k for 'topk i' lines without one")
@@ -483,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
              "affected rows only, with optional versioned snapshots",
     )
     _add_graph_arguments(update)
+    _add_sharding_arguments(update)
     update.add_argument(
         "--edges", required=True,
         help="file of '<src> <dst>' edge lines to insert; '-' reads stdin",

@@ -15,6 +15,11 @@ The dataclasses defined here:
     snapshot cadence/retention and the exact-re-estimation switch (see
     :mod:`repro.service.updates`).
 
+:class:`ShardingParams`
+    Shape of a sharded deployment: how many shards, how nodes are assigned
+    to them, and which executor backend builds them concurrently (see
+    :mod:`repro.core.sharding` and :mod:`repro.service.sharded`).
+
 :class:`ClusterSpec`
     A description of the (simulated) cluster used by the engine's cost
     model.  The paper's testbed was 10 machines, each with 16 cores, 377 GB
@@ -261,6 +266,79 @@ class UpdateParams:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "UpdateParams":
+        """Reconstruct parameters from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ShardingParams:
+    """Shape of a sharded index build / sharded query service.
+
+    Attributes
+    ----------
+    num_shards:
+        ``K`` — number of index shards.  ``1`` means the single-shard path
+        (a :class:`~repro.service.QueryService` with no routing layer).
+    strategy:
+        How nodes are assigned to shards: ``"hash"`` (multiplicative hash of
+        the node id — balanced, stable under growth), ``"contiguous"``
+        (node-id ranges — best locality for generators that number nodes in
+        arrival order) or ``"partitioner"`` (edge-balanced greedy assignment
+        computed from the graph's in-degrees; see
+        :class:`repro.graph.partition.EdgeBalancedPartitioner`).
+    backend:
+        Executor backend that builds shards concurrently: ``"serial"``,
+        ``"threads"`` or ``"processes"`` (see :mod:`repro.engine.executor`).
+        The backend changes only wall-clock, never results: every shard's
+        rows come from per-source random streams, so any execution order
+        produces a bitwise-identical index.
+    max_workers:
+        Worker bound for the ``threads`` / ``processes`` backends.
+    """
+
+    num_shards: int = 1
+    strategy: str = "hash"
+    backend: str = "serial"
+    max_workers: int = 4
+
+    _VALID_STRATEGIES = ("hash", "contiguous", "partitioner")
+    _VALID_BACKENDS = ("serial", "threads", "processes")
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.strategy not in self._VALID_STRATEGIES:
+            raise ConfigurationError(
+                f"strategy must be one of {self._VALID_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if self.backend not in self._VALID_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {self._VALID_BACKENDS}, "
+                f"got {self.backend!r}"
+            )
+        if self.max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {self.max_workers}"
+            )
+
+    def with_(self, **changes: Any) -> "ShardingParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict representation (used by snapshots and stats)."""
+        return {
+            "num_shards": self.num_shards,
+            "strategy": self.strategy,
+            "backend": self.backend,
+            "max_workers": self.max_workers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardingParams":
         """Reconstruct parameters from :meth:`to_dict` output."""
         return cls(**data)
 

@@ -5,17 +5,34 @@ one entry per node (the diagonal of the correction matrix ``D``).  Every
 online query only needs ``x`` and the graph, so the index is tiny compared to
 the graph itself — the property that lets CloudWalker answer "big SimRank"
 queries with "instant response".
+
+Three persistence layers live here:
+
+:class:`DiagonalIndex`
+    The index payload itself plus provenance, with atomic ``.npz``
+    save/load.
+:class:`SnapshotStore`
+    Versioned, bounded-retention snapshots of one index lineage, optionally
+    carrying the Monte-Carlo linear system so incremental maintenance
+    survives restarts.
+:class:`ShardedIndex` / :class:`ShardedSnapshotStore`
+    The sharded deployment's view: the (broadcast) diagonal plus a
+    :class:`~repro.graph.partition.ShardPlan` and per-shard versions, and a
+    snapshot directory holding one :class:`SnapshotStore` per shard — each
+    shard persists the full diagonal next to *its own rows* of the linear
+    system.
 """
 
 from __future__ import annotations
 
 import contextlib
+import json
 import os
 import re
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
@@ -23,6 +40,7 @@ from scipy import sparse
 from repro.config import SimRankParams
 from repro.errors import CloudWalkerError
 from repro.graph.digraph import DiGraph
+from repro.graph.partition import ShardPlan
 
 PathLike = Union[str, os.PathLike]
 
@@ -63,6 +81,7 @@ class BuildInfo:
     extras: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
+        """Timings and diagnostics as a plain dict (merged into summaries)."""
         return {
             "execution_model": self.execution_model,
             "monte_carlo_seconds": self.monte_carlo_seconds,
@@ -413,3 +432,242 @@ def save_snapshot(
 def load_latest(directory: PathLike) -> Tuple[int, DiagonalIndex]:
     """Convenience wrapper: load the newest snapshot from ``directory``."""
     return SnapshotStore(directory).load_latest()
+
+
+# --------------------------------------------------------------------------- #
+# Sharded deployments
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardedIndex:
+    """The serving state of a sharded deployment.
+
+    The diagonal itself is *broadcast*: every shard serves from the same
+    full vector (it is one float per node — the paper ships it to every
+    worker for the online phase).  What is sharded is the *maintenance*
+    state: each shard owns the rows of the linear system for the nodes the
+    plan assigns to it, and carries its own version counter that only moves
+    when one of its rows is re-estimated.
+
+    Attributes
+    ----------
+    index:
+        The global :class:`DiagonalIndex` (identical on every shard).
+    plan:
+        Node-to-shard assignment; also routes queries and edge insertions.
+    shard_versions:
+        Per-shard generation counters, aligned with the plan's shard ids.
+        ``shard_versions[k]`` is the global :attr:`index version
+        <repro.service.QueryService.index_version>` at which shard ``k``'s
+        rows were last (re-)estimated.
+    """
+
+    index: DiagonalIndex
+    plan: ShardPlan
+    shard_versions: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.shard_versions:
+            self.shard_versions = [1] * self.plan.num_shards
+        if len(self.shard_versions) != self.plan.num_shards:
+            raise CloudWalkerError(
+                f"{len(self.shard_versions)} shard versions for a plan with "
+                f"{self.plan.num_shards} shards"
+            )
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (``K``) in the plan."""
+        return self.plan.num_shards
+
+    def validate_for(self, graph: DiGraph) -> None:
+        """Raise if the (global) index does not match ``graph``."""
+        self.index.validate_for(graph)
+
+    def touch(self, shards: Sequence[int], version: int) -> None:
+        """Record that ``shards`` were re-estimated at global ``version``."""
+        for shard in shards:
+            self.shard_versions[shard] = version
+
+    def summary(self) -> Dict[str, Any]:
+        """Human-readable summary (index summary plus shard layout)."""
+        return {
+            **self.index.summary(),
+            "num_shards": self.num_shards,
+            "shard_strategy": self.plan.strategy,
+            "shard_versions": list(self.shard_versions),
+        }
+
+
+class ShardedSnapshotStore:
+    """Versioned snapshots of a sharded deployment — one store per shard.
+
+    Layout of a sharded snapshot directory::
+
+        <directory>/
+            shard_plan.json     # the ShardPlan, written once, immutable
+            shard-00/           # a plain SnapshotStore per shard:
+                index-v*.npz    #   the (global) diagonal index
+                system-v*.npz   #   ONLY this shard's rows of the system
+            shard-01/
+            ...
+
+    Every shard directory is a plain :class:`SnapshotStore`, so all its
+    guarantees carry over unchanged: atomic writes, monotone versions,
+    bounded retention.  A *consistent* sharded snapshot is a version present
+    in **every** shard store; :meth:`versions` returns exactly those, so a
+    crash that wrote only some shards rolls back to the last complete
+    version on load.  The partial files are ignored by every load, replaced
+    (never adopted) if a later save reuses their version number, and
+    eventually dropped by retention pruning.
+    """
+
+    PLAN_FILE = "shard_plan.json"
+
+    def __init__(self, directory: PathLike, retain: int = 5) -> None:
+        self.directory = Path(directory)
+        self.retain = retain
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def is_sharded(cls, directory: PathLike) -> bool:
+        """True when ``directory`` holds a sharded (not plain) snapshot."""
+        return (Path(directory) / cls.PLAN_FILE).exists()
+
+    def shard_store(self, shard: int) -> SnapshotStore:
+        """The plain :class:`SnapshotStore` of one shard."""
+        return SnapshotStore(self.directory / f"shard-{shard:02d}",
+                             retain=self.retain)
+
+    def load_plan(self) -> ShardPlan:
+        """Load the persisted :class:`ShardPlan` (raises if absent)."""
+        path = self.directory / self.PLAN_FILE
+        try:
+            return ShardPlan.from_dict(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError, KeyError) as exc:
+            raise CloudWalkerError(f"cannot load shard plan from {path}: {exc}") from exc
+
+    def _save_plan(self, plan: ShardPlan) -> None:
+        path = self.directory / self.PLAN_FILE
+        if path.exists():
+            existing = self.load_plan()
+            if existing != plan:
+                raise CloudWalkerError(
+                    f"snapshot directory {self.directory} was created with a "
+                    f"different shard plan ({existing!r} != {plan!r}); shard "
+                    "plans are immutable — re-shard into a fresh directory"
+                )
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        atomic_write(
+            path,
+            lambda handle: handle.write(
+                json.dumps(plan.to_dict(), indent=2).encode("utf-8")
+            ),
+        )
+
+    # ------------------------------------------------------------------ #
+    def versions(self) -> List[int]:
+        """Versions present in *every* shard store (consistent snapshots)."""
+        plan_path = self.directory / self.PLAN_FILE
+        if not plan_path.exists():
+            return []
+        plan = self.load_plan()
+        common: Optional[set] = None
+        for shard in range(plan.num_shards):
+            present = set(self.shard_store(shard).versions())
+            common = present if common is None else common & present
+        return sorted(common or ())
+
+    def latest_version(self) -> Optional[int]:
+        """Newest consistent version, or None for an empty store."""
+        versions = self.versions()
+        return versions[-1] if versions else None
+
+    def save_snapshot(
+        self,
+        sharded: ShardedIndex,
+        shard_systems: Optional[Sequence[Optional[sparse.spmatrix]]] = None,
+        version: Optional[int] = None,
+    ) -> int:
+        """Persist one consistent sharded snapshot; returns its version.
+
+        Writes the plan (first call only), then every shard's store: the
+        global diagonal index plus, when ``shard_systems`` is given, that
+        shard's system block.  ``version`` defaults to ``latest + 1``.
+        A shard already holding ``version`` is skipped only when that
+        version is *consistent* (present in every shard) — a genuine
+        re-save no-op.  A shard file at ``version`` that is not consistent
+        is the debris of a crashed earlier save and may describe different
+        data, so it is replaced, never adopted into the new snapshot.
+        """
+        self._save_plan(sharded.plan)
+        consistent = set(self.versions())
+        if version is None:
+            version = (max(consistent) if consistent else 0) + 1
+        for shard in range(sharded.num_shards):
+            store = self.shard_store(shard)
+            if store.latest_version() == version:
+                if version in consistent:
+                    continue
+                with contextlib.suppress(OSError):
+                    store.index_path(version).unlink()
+                with contextlib.suppress(OSError):
+                    store.system_path(version).unlink()
+            system = shard_systems[shard] if shard_systems is not None else None
+            store.save_snapshot(sharded.index, system=system, version=version)
+        return version
+
+    def load(
+        self, version: Optional[int] = None
+    ) -> Tuple[int, ShardedIndex, Optional[sparse.csr_matrix]]:
+        """Load a consistent snapshot as ``(version, sharded_index, system)``.
+
+        ``version`` defaults to the newest consistent one.  The returned
+        system is the gather (sum) of the per-shard blocks — bitwise-equal
+        to the system the writing service maintained — or None when any
+        shard was saved without its block (callers then re-estimate, just
+        like attaching to a plain index file).
+        """
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                raise CloudWalkerError(
+                    f"no consistent sharded snapshots found in {self.directory}"
+                )
+        elif version not in self.versions():
+            raise CloudWalkerError(
+                f"version {version} is not a consistent snapshot in "
+                f"{self.directory} (have {self.versions()})"
+            )
+        plan = self.load_plan()
+        index = self.shard_store(0).load(version)
+        system: Optional[sparse.csr_matrix] = None
+        blocks: List[sparse.csr_matrix] = []
+        for shard in range(plan.num_shards):
+            block = self.shard_store(shard).load_system(version)
+            if block is None:
+                blocks = []
+                break
+            blocks.append(block)
+        if blocks:
+            system = blocks[0]
+            for block in blocks[1:]:
+                system = system + block
+            system = system.tocsr()
+            system.eliminate_zeros()
+            system.sort_indices()
+        sharded = ShardedIndex(index=index, plan=plan,
+                               shard_versions=[version] * plan.num_shards)
+        return version, sharded, system
+
+    def prune(self, retain: Optional[int] = None) -> None:
+        """Prune every shard store to the newest ``retain`` versions."""
+        plan = self.load_plan()
+        for shard in range(plan.num_shards):
+            self.shard_store(shard).prune(retain)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedSnapshotStore(directory={str(self.directory)!r}, "
+            f"versions={self.versions()}, retain={self.retain})"
+        )

@@ -23,7 +23,7 @@ accuracy experiments.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -34,21 +34,98 @@ from repro.core.index import DiagonalIndex
 from repro.graph.digraph import DiGraph
 
 
+def _select_top_k(candidates: np.ndarray, values: np.ndarray,
+                  k: int) -> List[Tuple[int, float]]:
+    """Top-``k`` of ``(candidates, values)`` under the canonical total order.
+
+    The order is *score descending, node id ascending* — a total order, so
+    the result is a pure function of the (node, score) set.  That property
+    is what makes sharded serving exact: ranking a score vector in one
+    piece, or ranking disjoint candidate slices and merging them, must
+    produce the same list (see :func:`merge_top_k`).  Non-finite scores
+    (the ``-inf`` used to mask the source itself) are dropped.
+    """
+    finite = np.isfinite(values)
+    candidates, values = candidates[finite], values[finite]
+    if k <= 0 or len(candidates) == 0:
+        return []
+    if len(candidates) > k:
+        # Cheap pre-filter: keep everything scoring at least the k-th best
+        # value (ties at the boundary included), then order canonically.
+        threshold = values[np.argpartition(-values, kth=k - 1)[k - 1]]
+        keep = values >= threshold
+        candidates, values = candidates[keep], values[keep]
+    order = np.lexsort((candidates, -values))[:k]
+    return [(int(candidates[i]), float(values[i])) for i in order]
+
+
 def rank_top_k(scores: np.ndarray, node: int, k: int,
                include_self: bool = False) -> List[Tuple[int, float]]:
     """Rank a single-source score vector into a top-``k`` list.
 
-    Shared by :meth:`QueryEngine.top_k` and the query service so both rank
-    identically (stable sort, self excluded unless ``include_self``).
+    Parameters
+    ----------
+    scores:
+        Dense score vector (one entry per node), e.g. the output of
+        :meth:`QueryEngine.propagate_source`.
+    node:
+        The source node; excluded from the ranking unless ``include_self``.
+    k:
+        Maximum length of the returned list (capped at ``len(scores)``).
+    include_self:
+        Keep the source itself (score 1.0) in the ranking.
+
+    Returns ``[(node_id, score), ...]`` ordered by score descending with
+    node-id-ascending tie-breaking — a canonical total order shared by
+    :meth:`QueryEngine.top_k`, the query service, and the sharded service's
+    scatter-gather merge (:func:`rank_top_k_within` + :func:`merge_top_k`),
+    so all paths rank bitwise-identically.
     """
+    return rank_top_k_within(
+        scores, node, np.arange(len(scores)), k, include_self=include_self
+    )
+
+
+def rank_top_k_within(scores: np.ndarray, node: int,
+                      candidates: np.ndarray, k: int,
+                      include_self: bool = False) -> List[Tuple[int, float]]:
+    """Rank only ``candidates`` (a subset of node ids) of a score vector.
+
+    This is one shard's half of the scatter-gather top-k: the shard ranks
+    the candidate nodes it owns, and :func:`merge_top_k` combines the
+    per-shard lists.  Because the ranking order is total,
+    ``merge_top_k([rank_top_k_within(scores, node, part, k) for part in
+    partition_of_all_nodes], k)`` equals ``rank_top_k(scores, node, k)``
+    exactly — the equivalence the sharded service's tests pin down.
+
+    Arguments match :func:`rank_top_k`; ``candidates`` is an array of node
+    ids (need not be sorted, must be a subset of ``range(len(scores))``).
+    Returns at most ``min(k, len(scores))`` entries.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    values = scores[candidates].astype(np.float64, copy=True)
     if not include_self:
-        scores = scores.copy()
-        scores[node] = -np.inf
-    k = min(k, len(scores))
-    candidates = np.argpartition(-scores, kth=k - 1)[:k] if k > 0 else np.array([], dtype=int)
-    ranked = candidates[np.argsort(-scores[candidates], kind="stable")]
-    return [(int(candidate), float(scores[candidate])) for candidate in ranked
-            if np.isfinite(scores[candidate])]
+        values[candidates == node] = -np.inf
+    return _select_top_k(candidates, values, min(k, len(scores)))
+
+
+def merge_top_k(partials: Sequence[List[Tuple[int, float]]],
+                k: int) -> List[Tuple[int, float]]:
+    """Merge per-shard top-``k`` lists into the exact global top-``k``.
+
+    ``partials`` are lists produced by :func:`rank_top_k_within` over
+    *disjoint* candidate sets.  The merge is exact (not approximate)
+    because every global top-``k`` entry is necessarily inside its owning
+    shard's local top-``k``: fewer than ``k`` candidates beat it globally,
+    so fewer than ``k`` beat it in its own shard.  Returns at most ``k``
+    entries in the canonical order of :func:`rank_top_k`.
+    """
+    entries = [entry for part in partials for entry in part]
+    if not entries:
+        return []
+    nodes = np.array([node for node, _score in entries], dtype=np.int64)
+    values = np.array([score for _node, score in entries], dtype=np.float64)
+    return _select_top_k(nodes, values, k)
 
 
 class QueryEngine:

@@ -17,6 +17,11 @@ serving layer fit for sustained query traffic:
     :class:`QueryService`, tying index persistence, planning, simulation,
     caching, live updates and versioned snapshots together behind
     single-query and batch APIs.
+:mod:`repro.service.sharded`
+    :class:`ShardedQueryService`, the scatter-gather deployment of the
+    same service: per-shard caches, index rows and versions behind a
+    :class:`~repro.graph.partition.ShardPlan`, with answers
+    bitwise-identical to the single-shard path for any shard count.
 """
 
 from repro.service.batching import (
@@ -33,6 +38,7 @@ from repro.service.batching import (
 )
 from repro.service.cache import CacheKey, CacheStats, WalkDistributionCache
 from repro.service.service import BatchAnswers, QueryService
+from repro.service.sharded import ShardedQueryService
 from repro.service.updates import GraphMutator, MutationResult
 
 __all__ = [
@@ -45,6 +51,7 @@ __all__ = [
     "PairQuery",
     "Query",
     "QueryService",
+    "ShardedQueryService",
     "SourceQuery",
     "TopKQuery",
     "WalkDistributionCache",

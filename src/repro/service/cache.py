@@ -42,6 +42,11 @@ class CacheKey:
 
     @classmethod
     def for_query(cls, node: int, params: SimRankParams, walkers: int) -> "CacheKey":
+        """Key for one source's distribution under ``params``.
+
+        ``walkers`` is passed separately because callers may override the
+        per-query Monte-Carlo budget (``params.query_walkers``) per call.
+        """
         return cls(node=int(node), steps=params.walk_steps, walkers=int(walkers),
                    seed=params.seed)
 
@@ -59,6 +64,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups served (hits plus misses)."""
         return self.hits + self.misses
 
     @property
@@ -67,6 +73,7 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def to_dict(self) -> Dict[str, Any]:
+        """Counters (plus derived hit rate) as a plain dict, for stats()."""
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -79,6 +79,8 @@ class BatchAnswers(List[Answer]):
     across batches to detect answers computed against an older graph.
     """
 
+    index_version: int
+
     def __init__(self, answers: Sequence[Answer], index_version: int) -> None:
         super().__init__(answers)
         self.index_version = index_version

@@ -1,0 +1,507 @@
+"""Scatter-gather SimRank serving over a sharded index.
+
+:class:`ShardedQueryService` is the cluster-shaped sibling of
+:class:`~repro.service.service.QueryService`: the node space is split across
+``K`` shards by a :class:`~repro.graph.partition.ShardPlan`, and every piece
+of per-node serving state follows the plan —
+
+* **index maintenance**: each shard owns its nodes' rows of the indexing
+  linear system; index builds and incremental updates fan out per shard
+  through an executor backend
+  (:class:`~repro.core.sharding.ShardedIncrementalWalker`);
+* **walk-distribution caches**: one LRU per shard, so a shard's cache holds
+  exactly the sources it owns and an update invalidates only inside the
+  touched shards;
+* **top-k ranking**: the owner shard scores the source, every shard ranks
+  the candidate nodes it owns, and the results are merged *exactly*
+  (:func:`repro.core.queries.merge_top_k` — the canonical total order makes
+  the merge provably equal to single-shard ranking);
+* **versions**: the global :attr:`~ShardedQueryService.index_version` keeps
+  the single-shard semantics (one bump per applied update), while
+  :attr:`~ShardedQueryService.shard_versions` records, per shard, the last
+  global version that re-estimated one of its rows.
+
+The headline invariant is inherited from the rest of the stack and pinned by
+the test suite: **for any number of shards, any strategy and any backend,
+every answer — pair, source and top-k, before and after live updates — is
+bitwise-identical to the single-shard service's.**  Sharding changes where
+work happens and what can run concurrently, never results.  See
+``docs/sharding.md`` for the full routing and merge semantics.
+
+Example
+-------
+>>> from repro.config import ShardingParams, SimRankParams
+>>> from repro.graph import generators
+>>> from repro.service import PairQuery, ShardedQueryService, TopKQuery
+>>> graph = generators.copying_model_graph(120, out_degree=5, seed=1)
+>>> service = ShardedQueryService.build(
+...     graph, SimRankParams.fast_defaults(),
+...     sharding=ShardingParams(num_shards=4))
+>>> answers = service.run_batch([PairQuery(3, 7), TopKQuery(3, k=5)])
+>>> 0.0 <= answers[0] <= 1.0
+True
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.config import ServiceParams, ShardingParams, SimRankParams, UpdateParams
+from repro.core import montecarlo
+from repro.core.index import (
+    DiagonalIndex,
+    ShardedIndex,
+    ShardedSnapshotStore,
+)
+from repro.core.queries import QueryEngine, merge_top_k, rank_top_k_within
+from repro.core.sharding import ShardedIncrementalWalker, make_plan
+from repro.engine.executor import make_backend
+from repro.errors import CloudWalkerError
+from repro.graph.digraph import DiGraph
+from repro.graph.partition import ShardPlan
+from repro.service.batching import (
+    BatchPlan,
+    Query,
+    TopKQuery,
+    chunk_sources,
+)
+from repro.service.cache import CacheKey, WalkDistributionCache
+from repro.service.service import Answer, QueryService
+from repro.service.updates import GraphMutator, MutationResult
+
+PathLike = Union[str, os.PathLike]
+
+
+class ShardedQueryService(QueryService):
+    """A :class:`QueryService` that routes per-node state across ``K`` shards.
+
+    Accepts every query and update the single-shard service does, with the
+    same answers (bitwise) and the same ``index_version`` sequence; the
+    additional surface is per-shard observability (:meth:`stats`,
+    :attr:`shard_versions`) and sharded persistence
+    (:meth:`save_snapshot` / :meth:`from_snapshot` write and read one
+    :class:`~repro.core.index.SnapshotStore` per shard).
+
+    Parameters
+    ----------
+    graph:
+        The graph queries run against.
+    index:
+        A built or loaded index: either a plain :class:`DiagonalIndex`
+        (the diagonal is broadcast, shard state starts fresh) or a
+        :class:`~repro.core.index.ShardedIndex` restored from a sharded
+        snapshot (its plan and shard versions are adopted).
+    params:
+        Algorithmic parameters; defaults to the index's build parameters.
+    service_params:
+        Cache and batching knobs.  ``cache_capacity`` is **per shard**: a
+        ``K``-shard service can hold up to ``K * cache_capacity``
+        distributions, mirroring a real deployment where every shard has
+        its own memory budget.
+    update_params:
+        Live-update knobs, identical to the single-shard service.
+    sharding:
+        Shard count / strategy / build backend.  Ignored when ``plan`` (or
+        a :class:`ShardedIndex`) already fixes the assignment, except for
+        the backend settings.
+    plan:
+        An explicit node-to-shard assignment, overriding ``sharding``'s
+        strategy.
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        index: Union[DiagonalIndex, ShardedIndex],
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+        sharding: Optional[ShardingParams] = None,
+        plan: Optional[ShardPlan] = None,
+    ) -> None:
+        if isinstance(index, ShardedIndex):
+            plan = index.plan if plan is None else plan
+            shard_versions: Optional[List[int]] = list(index.shard_versions)
+            index = index.index
+        else:
+            shard_versions = None
+        self.sharding = sharding or ShardingParams()
+        if plan is None:
+            plan = make_plan(graph, self.sharding)
+        elif plan.num_shards != self.sharding.num_shards and sharding is not None:
+            raise CloudWalkerError(
+                f"plan has {plan.num_shards} shards but sharding params say "
+                f"{self.sharding.num_shards}"
+            )
+        self.plan = plan
+        super().__init__(graph, index, params=params,
+                         service_params=service_params,
+                         update_params=update_params)
+        # The single LRU of the parent is replaced by one cache per shard;
+        # `self.cache` stays None so any accidental single-cache use fails
+        # loudly instead of silently bypassing the routing layer.
+        self.cache = None
+        self.shard_caches: List[WalkDistributionCache] = [
+            WalkDistributionCache(self.service_params.cache_capacity)
+            for _ in range(self.plan.num_shards)
+        ]
+        self.sharded_index = ShardedIndex(
+            index=self.index, plan=self.plan,
+            shard_versions=shard_versions or [self._version] * self.plan.num_shards,
+        )
+        self._shard_counters: List[Dict[str, int]] = [
+            {"edges_routed": 0, "sources_simulated": 0}
+            for _ in range(self.plan.num_shards)
+        ]
+        self._shard_nodes_cache: Optional[List[np.ndarray]] = None
+        self._shard_nodes_n = -1
+
+    # ------------------------------------------------------------------ #
+    # Cold start
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        graph: DiGraph,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+        sharding: Optional[ShardingParams] = None,
+    ) -> "ShardedQueryService":
+        """Build the index shard-by-shard (concurrently) and serve it.
+
+        The per-shard row estimations run through the executor backend of
+        ``sharding`` and are gathered into one solve, so the served index
+        is bitwise-identical to :meth:`QueryService.build` with the same
+        parameters.  Like the single-shard ``build``, the service keeps the
+        linear system in memory, so the first :meth:`add_edges` pays only
+        for its affected rows.
+        """
+        params = params or SimRankParams.paper_defaults()
+        sharding = sharding or ShardingParams()
+        update_params = update_params or UpdateParams()
+        plan = make_plan(graph, sharding)
+        walker = ShardedIncrementalWalker(
+            graph, plan, params=params, exact=update_params.exact,
+            backend=make_backend(sharding.backend,
+                                 max_workers=sharding.max_workers),
+        )
+        mutator = GraphMutator(graph, params, update_params, walker=walker)
+        index = mutator.build()
+        service = cls(graph, index, params=params,
+                      service_params=service_params,
+                      update_params=update_params, sharding=sharding, plan=plan)
+        service._mutator = mutator
+        return service
+
+    @classmethod
+    def from_index_file(
+        cls,
+        graph: DiGraph,
+        path: PathLike,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+        sharding: Optional[ShardingParams] = None,
+        plan: Optional[ShardPlan] = None,
+    ) -> "ShardedQueryService":
+        """Cold-start a sharded service from a persisted plain index.
+
+        The index file carries no shard state: the plan is derived from
+        ``sharding`` (or taken verbatim from ``plan``, e.g. one recovered
+        from an existing snapshot lineage), caches start cold, and the
+        first update triggers the (sharded, concurrent) one-time system
+        estimation — exactly the plain-index trade-off of
+        :meth:`QueryService.from_index_file`.
+        """
+        index = DiagonalIndex.load(path)
+        return cls(graph, index, params=params, service_params=service_params,
+                   update_params=update_params, sharding=sharding, plan=plan)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        graph: DiGraph,
+        directory: PathLike,
+        params: Optional[SimRankParams] = None,
+        service_params: Optional[ServiceParams] = None,
+        update_params: Optional[UpdateParams] = None,
+        sharding: Optional[ShardingParams] = None,
+    ) -> "ShardedQueryService":
+        """Cold-start from the newest *consistent* sharded snapshot.
+
+        Restores the persisted plan, the broadcast diagonal and — when
+        every shard saved its system block — the gathered linear system, so
+        the restarted service resumes incremental updates without
+        re-estimating anything.  ``sharding`` supplies only the executor
+        backend; the shard count and assignment always come from the
+        snapshot's immutable plan.
+        """
+        update_params = update_params or UpdateParams()
+        sharding = sharding or ShardingParams()
+        store = ShardedSnapshotStore(directory, retain=update_params.snapshot_retain)
+        version, sharded_index, system = store.load()
+        service = cls(graph, sharded_index, params=params,
+                      service_params=service_params, update_params=update_params,
+                      sharding=sharding.with_(
+                          num_shards=sharded_index.plan.num_shards,
+                          strategy=sharded_index.plan.strategy,
+                      ))
+        service._version = version
+        service.sharded_index.shard_versions = [version] * service.num_shards
+        if system is not None:
+            walker = ShardedIncrementalWalker(
+                graph, service.plan, params=service.params,
+                exact=update_params.exact,
+                backend=make_backend(service.sharding.backend,
+                                     max_workers=service.sharding.max_workers),
+            )
+            walker.attach(service.index, system=system)
+            service._mutator = GraphMutator(graph, service.params, update_params,
+                                            walker=walker)
+        return service
+
+    # ------------------------------------------------------------------ #
+    # Shard topology
+    # ------------------------------------------------------------------ #
+    @property
+    def num_shards(self) -> int:
+        """Number of shards (``K``) the service routes across."""
+        return self.plan.num_shards
+
+    @property
+    def shard_versions(self) -> List[int]:
+        """Per-shard generations: the global :attr:`index_version` at which
+        each shard's index rows were last (re-)estimated.  A shard whose
+        version trails the global one simply had no affected rows in the
+        updates since — its rows (and cached distributions) are still
+        bitwise-current."""
+        return list(self.sharded_index.shard_versions)
+
+    def shard_of(self, node: int) -> int:
+        """The shard owning ``node`` — its cache, index rows and ranking."""
+        return self.plan.shard_of(node)
+
+    def _shard_nodes(self) -> List[np.ndarray]:
+        """Per-shard owned-node arrays for the current graph (cached)."""
+        if self._shard_nodes_cache is None or self._shard_nodes_n != self.graph.n_nodes:
+            assignment = self.plan.assign(self.graph.n_nodes)
+            self._shard_nodes_cache = [
+                np.flatnonzero(assignment == shard)
+                for shard in range(self.num_shards)
+            ]
+            self._shard_nodes_n = self.graph.n_nodes
+        return self._shard_nodes_cache
+
+    # ------------------------------------------------------------------ #
+    # Live updates (shard-routed)
+    # ------------------------------------------------------------------ #
+    def _ensure_mutator(self) -> GraphMutator:
+        if self._mutator is None:
+            walker = ShardedIncrementalWalker(
+                self.graph, self.plan, params=self.params,
+                exact=self.update_params.exact,
+                backend=make_backend(self.sharding.backend,
+                                     max_workers=self.sharding.max_workers),
+            )
+            # Attaching estimates the linear system once — shard-by-shard,
+            # concurrently — exactly like the single-shard attach but with
+            # the build fanned out.
+            walker.attach(self.index)
+            self._mutator = GraphMutator(self.graph, self.params,
+                                         self.update_params, walker=walker)
+        return self._mutator
+
+    def add_edges(self, edges: Sequence[Tuple[int, int]],
+                  defer: bool = False) -> Optional[MutationResult]:
+        """Insert edges into the served graph (single-shard semantics).
+
+        Each edge is routed to the shard owning its *head* (the node whose
+        in-links change); the per-shard routed counts appear in
+        :meth:`stats`.  Application, deferral and the bounded queue behave
+        exactly like :meth:`QueryService.add_edges`; the re-index itself
+        touches only the shards owning affected rows.
+        """
+        for shard, routed in self.plan.group_edges(
+                (int(u), int(v)) for u, v in edges).items():
+            self._shard_counters[shard]["edges_routed"] += len(routed)
+        return super().add_edges(edges, defer=defer)
+
+    def _apply_updates(self, edges: Sequence[Tuple[int, int]]) -> Optional[MutationResult]:
+        """Drain the queue plus ``edges``; re-index and invalidate per shard."""
+        result = self._ensure_mutator().apply(edges)
+        if result is None:
+            return None
+        self.graph = self._mutator.graph
+        self.index = self._mutator.index
+        self.engine = QueryEngine(self.graph, self.index, self.params)
+        self._shard_nodes_cache = None
+        self._version += 1
+        touched = self.plan.group_nodes(result.affected)
+        for shard, nodes in touched.items():
+            self.shard_caches[shard].invalidate_sources(nodes)
+        self.sharded_index.index = self.index
+        self.sharded_index.touch(sorted(touched), self._version)
+        self._counters["updates_applied"] += 1
+        self._counters["edges_added"] += result.edges_added
+        self._maybe_auto_snapshot()
+        return result
+
+    def save_snapshot(self, directory: Optional[PathLike] = None) -> Tuple[int, str]:
+        """Persist one consistent sharded snapshot at the current version.
+
+        Every shard's :class:`~repro.core.index.SnapshotStore` receives the
+        broadcast diagonal plus its own rows of the linear system (when the
+        service maintains one).  Returns ``(version, directory)``.  Saving
+        the same version twice is a no-op; a directory ahead of this
+        service, or created with a different plan, is rejected.
+        """
+        directory = directory if directory is not None else self.update_params.snapshot_dir
+        if directory is None:
+            raise CloudWalkerError(
+                "no snapshot directory: pass one or set UpdateParams.snapshot_dir"
+            )
+        store = ShardedSnapshotStore(directory,
+                                     retain=self.update_params.snapshot_retain)
+        latest = store.latest_version()
+        if latest is not None and latest > self._version:
+            raise CloudWalkerError(
+                f"snapshot directory {directory} is at version {latest}, ahead "
+                f"of this service (version {self._version})"
+            )
+        if latest != self._version:
+            shard_systems = None
+            if self._mutator is not None and isinstance(
+                    self._mutator.walker, ShardedIncrementalWalker):
+                if self._mutator.system is not None:
+                    shard_systems = self._mutator.walker.shard_systems()
+            store.save_snapshot(self.sharded_index, shard_systems=shard_systems,
+                                version=self._version)
+            self._counters["snapshots_written"] += 1
+        return self._version, str(store.directory)
+
+    # ------------------------------------------------------------------ #
+    # Query execution (scatter-gather)
+    # ------------------------------------------------------------------ #
+    def _resolve_distributions(
+        self, plan: BatchPlan, walkers: Optional[int]
+    ) -> Dict[int, montecarlo.WalkDistributions]:
+        """Resolve a batch's sources against their owning shards' caches.
+
+        Every source is looked up in — and simulated into — the cache of
+        the shard that owns it; misses are grouped per shard and chunked
+        like the single-shard path.  Because each source's simulation
+        consumes its own ``(seed, source)`` stream, the per-shard grouping
+        cannot change any distribution, only which cache holds it.
+        """
+        walkers_count = walkers if walkers is not None else self.params.query_walkers
+        resolved: Dict[int, montecarlo.WalkDistributions] = {}
+        missing_by_shard: Dict[int, List[int]] = {}
+        for source in plan.sources:
+            shard = self.plan.shard_of(source)
+            cached = self.shard_caches[shard].get(
+                CacheKey.for_query(source, self.params, walkers_count)
+            )
+            if cached is not None:
+                resolved[source] = cached
+            else:
+                missing_by_shard.setdefault(shard, []).append(source)
+        for shard in sorted(missing_by_shard):
+            for chunk in chunk_sources(missing_by_shard[shard],
+                                       self.service_params.max_batch_size):
+                simulated = montecarlo.estimate_walk_distributions_batch(
+                    self.graph, chunk, self.params, walkers=walkers_count
+                )
+                self._counters["sources_simulated"] += len(simulated)
+                self._shard_counters[shard]["sources_simulated"] += len(simulated)
+                for source, distribution in simulated.items():
+                    resolved[source] = distribution
+                    self.shard_caches[shard].put(
+                        CacheKey.for_query(source, self.params, walkers_count),
+                        distribution,
+                    )
+        return resolved
+
+    def _answer(self, query: Query,
+                distributions: Dict[int, montecarlo.WalkDistributions]) -> Answer:
+        """Answer one query; top-k is scattered across shards and merged.
+
+        The source's owner shard produces the score vector, each shard
+        ranks the candidate nodes it owns
+        (:func:`repro.core.queries.rank_top_k_within`), and the partial
+        rankings are merged exactly
+        (:func:`repro.core.queries.merge_top_k`).  Pair and source queries
+        are answered by the owner shard alone and delegate to the parent.
+        """
+        if isinstance(query, TopKQuery):
+            self._counters["topk_queries"] += 1
+            scores = self.engine.propagate_source(
+                query.source, distributions[query.source]
+            )
+            partials = [
+                rank_top_k_within(scores, query.source, owned, query.k)
+                for owned in self._shard_nodes()
+            ]
+            return merge_top_k(partials, min(query.k, len(scores)))
+        return super()._answer(query, distributions)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Aggregate serving counters plus a per-shard breakdown.
+
+        The aggregate mirrors :meth:`QueryService.stats` (cache figures
+        summed across shards); the ``"shards"`` entry lists, per shard:
+        owned nodes, cache size/hit rate/memory, simulated sources, routed
+        edges and the shard's version.
+        """
+        hits = sum(cache.stats.hits for cache in self.shard_caches)
+        lookups = sum(cache.stats.lookups for cache in self.shard_caches)
+        shard_rows = []
+        owned_nodes = self._shard_nodes()
+        for shard, cache in enumerate(self.shard_caches):
+            shard_rows.append({
+                "shard": shard,
+                "nodes": int(len(owned_nodes[shard])),
+                "version": self.sharded_index.shard_versions[shard],
+                "cache_size": len(cache),
+                "cache_hit_rate": cache.stats.hit_rate,
+                "cache_invalidations": cache.stats.invalidations,
+                "cache_memory_bytes": cache.memory_bytes(),
+                **self._shard_counters[shard],
+            })
+        return {
+            **self._counters,
+            "index_version": self._version,
+            "pending_updates": self.pending_updates,
+            "num_shards": self.num_shards,
+            "shard_strategy": self.plan.strategy,
+            "cache_size": sum(len(cache) for cache in self.shard_caches),
+            "cache_capacity": self.service_params.cache_capacity * self.num_shards,
+            "cache_memory_bytes": sum(
+                cache.memory_bytes() for cache in self.shard_caches
+            ),
+            "cache_hits": hits,
+            "cache_misses": sum(cache.stats.misses for cache in self.shard_caches),
+            "cache_evictions": sum(
+                cache.stats.evictions for cache in self.shard_caches
+            ),
+            "cache_inserts": sum(cache.stats.inserts for cache in self.shard_caches),
+            "cache_invalidations": sum(
+                cache.stats.invalidations for cache in self.shard_caches
+            ),
+            "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "shards": shard_rows,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryService(graph={self.graph.name!r}, "
+            f"n_nodes={self.graph.n_nodes}, shards={self.num_shards}, "
+            f"strategy={self.plan.strategy!r}, version={self._version}, "
+            f"queries={self._counters['queries']})"
+        )

@@ -94,6 +94,16 @@ class GraphMutator:
         rows use the same budgets as queries expect.
     update_params:
         Queue bound and the exact-re-estimation switch.
+    walker:
+        An already-configured incremental maintainer to drive instead of
+        the default :class:`IncrementalCloudWalker`.  This is how the
+        sharded service plugs its
+        :class:`~repro.core.sharding.ShardedIncrementalWalker` into the
+        same intake pipeline (validation, dedup, bounded queue): anything
+        exposing the maintainer's ``build / attach / add_edges / graph /
+        index / system`` surface works.  The walker must run with
+        per-source streams and cold-start solves, or the service's
+        bitwise-reproducibility contract breaks.
     """
 
     def __init__(
@@ -101,9 +111,10 @@ class GraphMutator:
         graph: DiGraph,
         params: SimRankParams,
         update_params: Optional[UpdateParams] = None,
+        walker: Optional[IncrementalCloudWalker] = None,
     ) -> None:
         self.update_params = update_params or UpdateParams()
-        self._walker = IncrementalCloudWalker(
+        self._walker = walker if walker is not None else IncrementalCloudWalker(
             graph,
             params=params,
             exact=self.update_params.exact,
@@ -134,6 +145,17 @@ class GraphMutator:
     def pending_edges(self) -> int:
         """Number of queued, not-yet-applied edge insertions."""
         return len(self._pending)
+
+    @property
+    def walker(self) -> IncrementalCloudWalker:
+        """The incremental maintainer driving re-indexes.
+
+        Exposed so owners that injected a specialised walker (the sharded
+        service's :class:`~repro.core.sharding.ShardedIncrementalWalker`)
+        can reach its extra surface — per-shard system blocks, build
+        timings — without the mutator having to mirror it.
+        """
+        return self._walker
 
     # ------------------------------------------------------------------ #
     # Attach / build

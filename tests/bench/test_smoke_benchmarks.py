@@ -1,0 +1,42 @@
+"""Every ``benchmarks/*.py`` must smoke-run at tiny size inside the suite.
+
+This is the anti-rot harness for the benchmark directory (see
+``scripts/smoke_benchmarks.py``): each benchmark file is imported and its
+experiment executed with miniature inputs, so a refactor that breaks a
+benchmark's imports or call signatures fails the test suite immediately
+instead of the next full benchmark run.  Performance gates are not checked
+here — only that every benchmark still runs end-to-end and produces its
+result shape.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[2] / "scripts"
+if str(SCRIPTS_DIR) not in sys.path:
+    sys.path.insert(0, str(SCRIPTS_DIR))
+
+import smoke_benchmarks  # noqa: E402
+
+
+def test_every_benchmark_has_a_smoke_entry():
+    """A new bench_*.py without a smoke runner must fail the suite."""
+    assert smoke_benchmarks.missing() == [], (
+        "benchmarks without a smoke entry in scripts/smoke_benchmarks.py: "
+        f"{smoke_benchmarks.missing()}"
+    )
+
+
+def test_no_stale_smoke_entries():
+    """A smoke entry for a deleted benchmark is rot in the other direction."""
+    on_disk = set(smoke_benchmarks.discover())
+    stale = sorted(set(smoke_benchmarks.SMOKE_RUNNERS) - on_disk)
+    assert stale == [], f"smoke entries without a benchmark file: {stale}"
+
+
+@pytest.mark.parametrize("name", sorted(smoke_benchmarks.SMOKE_RUNNERS))
+def test_benchmark_smoke_runs(name):
+    result = smoke_benchmarks.run(name)
+    assert isinstance(result, dict) and result

@@ -1,0 +1,375 @@
+"""Tests for the sharded index build/maintenance machinery.
+
+The load-bearing claims pinned here:
+
+* a sharded build's gathered linear system — and therefore its solved
+  diagonal — is bitwise-identical to the single-shard build, for every
+  strategy and backend;
+* incremental updates through the sharded walker splice to the exact same
+  system and diagonal as the single-shard incremental path;
+* per-shard system blocks partition the full system and round-trip through
+  sharded snapshots losslessly;
+* :class:`ShardPlan` is a total, persistable routing function.
+"""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.config import ShardingParams, SimRankParams
+from repro.core.incremental import IncrementalCloudWalker
+from repro.core.index import ShardedIndex, ShardedSnapshotStore
+from repro.core.sharding import (
+    ShardedIncrementalWalker,
+    build_sharded_index,
+    estimate_shard_rows,
+    gather_shard_rows,
+    make_plan,
+)
+from repro.engine.executor import ThreadBackend
+from repro.errors import CloudWalkerError, ConfigurationError
+from repro.graph import generators
+from repro.graph.partition import (
+    EdgeBalancedPartitioner,
+    HashPartitioner,
+    ShardPlan,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=3,
+                         index_walkers=40, query_walkers=200, seed=11)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.copying_model_graph(90, out_degree=4, seed=7)
+
+
+@pytest.fixture(scope="module")
+def reference(graph, params):
+    """The single-shard walker the sharded one must match bitwise."""
+    walker = IncrementalCloudWalker(graph, params=params,
+                                    stream_per_source=True, warm_start=False)
+    walker.build()
+    return walker
+
+
+class TestShardPlan:
+    def test_hash_matches_hash_partitioner(self):
+        plan = ShardPlan.hashed(4)
+        partitioner = HashPartitioner(4)
+        for node in range(200):
+            assert plan.shard_of(node) == partitioner.partition(node)
+
+    def test_contiguous_covers_and_extends(self):
+        plan = ShardPlan.contiguous(3, n_nodes=10)
+        assignment = plan.assign(10)
+        assert sorted(set(assignment.tolist())) == [0, 1, 2]
+        assert all(np.diff(assignment) >= 0)  # contiguous ranges
+        # Ids beyond the planned range route to the last shard.
+        assert plan.shard_of(10_000) == 2
+
+    def test_partitioner_plan_freezes_assignment_and_falls_back(self, graph):
+        partitioner = EdgeBalancedPartitioner(3, graph)
+        plan = ShardPlan.from_partitioner(partitioner, graph)
+        for node in range(graph.n_nodes):
+            assert plan.shard_of(node) == partitioner.partition(node)
+        # Unseen ids fall back to the (total) hash rule.
+        assert 0 <= plan.shard_of(graph.n_nodes + 5) < 3
+
+    def test_group_nodes_sorted_and_partitioned(self):
+        plan = ShardPlan.hashed(3)
+        nodes = [9, 1, 5, 20, 14, 2]
+        groups = plan.group_nodes(nodes)
+        regrouped = sorted(node for group in groups.values() for node in group)
+        assert regrouped == sorted(nodes)
+        for shard, group in groups.items():
+            assert group == sorted(group)
+            assert all(plan.shard_of(node) == shard for node in group)
+
+    def test_group_edges_routes_by_head(self):
+        plan = ShardPlan.contiguous(2, n_nodes=10)
+        groups = plan.group_edges([(0, 9), (9, 0), (1, 8)])
+        assert groups[plan.shard_of(9)].count((0, 9)) == 1
+        assert (9, 0) in groups[plan.shard_of(0)]
+
+    @pytest.mark.parametrize("strategy", ["hash", "contiguous", "partitioner"])
+    def test_assign_matches_shard_of_elementwise(self, graph, strategy):
+        plan = ShardPlan.for_graph(graph, 4, strategy)
+        # Past the planned range too (covers the partitioner hash fallback).
+        extent = graph.n_nodes + 7
+        assignment = plan.assign(extent)
+        assert assignment.dtype == np.int64
+        assert [plan.shard_of(node) for node in range(extent)] \
+            == assignment.tolist()
+
+    @pytest.mark.parametrize("strategy", ["hash", "contiguous", "partitioner"])
+    def test_dict_round_trip(self, graph, strategy):
+        plan = ShardPlan.for_graph(graph, 4, strategy)
+        restored = ShardPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        for node in range(graph.n_nodes + 10):
+            assert restored.shard_of(node) == plan.shard_of(node)
+
+    def test_invalid_inputs(self, graph):
+        with pytest.raises(ConfigurationError):
+            ShardPlan(0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan(2, strategy="mystery")
+        with pytest.raises(ConfigurationError):
+            ShardPlan.contiguous(2, n_nodes=0)
+        with pytest.raises(ConfigurationError):
+            ShardPlan(2, strategy="partitioner")  # no assignment
+        with pytest.raises(ConfigurationError):
+            ShardPlan(2, strategy="partitioner",
+                      assignment=np.array([0, 5]))  # out of range
+        with pytest.raises(ConfigurationError):
+            ShardPlan.hashed(2).shard_of(-1)
+        with pytest.raises(ConfigurationError):
+            ShardPlan.hashed(2).nodes_of(7, 10)
+
+
+class TestShardedBuild:
+    @pytest.mark.parametrize("num_shards,strategy", [
+        (1, "hash"), (2, "contiguous"), (4, "hash"), (5, "partitioner"),
+    ])
+    def test_build_bitwise_identical(self, graph, params, reference,
+                                     num_shards, strategy):
+        walker = ShardedIncrementalWalker(
+            graph, ShardPlan.for_graph(graph, num_shards, strategy),
+            params=params,
+        )
+        index = walker.build()
+        assert np.array_equal(index.diagonal, reference.index.diagonal)
+        assert (walker.system - reference.system).nnz == 0
+        assert walker.last_touched_shards == frozenset(range(num_shards))
+
+    def test_thread_backend_identical(self, graph, params, reference):
+        walker = ShardedIncrementalWalker(
+            graph, ShardPlan.hashed(4), params=params,
+            backend=ThreadBackend(max_workers=4),
+        )
+        index = walker.build()
+        walker.backend.shutdown()
+        assert np.array_equal(index.diagonal, reference.index.diagonal)
+
+    def test_gather_matches_monolithic_estimation(self, graph, params):
+        plan = ShardPlan.hashed(3)
+        triplets = [
+            estimate_shard_rows(graph, plan.nodes_of(shard, graph.n_nodes), params)
+            for shard in range(3)
+        ]
+        gathered = gather_shard_rows(triplets, graph.n_nodes)
+        from repro.core import linear_system
+        rows, cols, values = linear_system.build_rows_streamed(
+            graph, range(graph.n_nodes), params
+        )
+        full = sparse.csr_matrix((values, (rows, cols)),
+                                 shape=(graph.n_nodes, graph.n_nodes))
+        assert (gathered - full).nnz == 0
+
+    def test_shard_build_timings_recorded(self, graph, params):
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(3), params=params)
+        walker.build()
+        assert sorted(walker.shard_build_seconds) == [0, 1, 2]
+        assert all(seconds >= 0.0 for seconds in walker.shard_build_seconds.values())
+
+    def test_build_sharded_index_convenience(self, graph, params, reference):
+        index, walker = build_sharded_index(
+            graph, ShardingParams(num_shards=4), params=params
+        )
+        assert np.array_equal(index.diagonal, reference.index.diagonal)
+        assert walker.plan.num_shards == 4
+
+    def test_make_plan_respects_strategy(self, graph):
+        plan = make_plan(graph, ShardingParams(num_shards=3, strategy="contiguous"))
+        assert plan.strategy == "contiguous"
+        assert plan.num_shards == 3
+
+
+class TestShardedUpdates:
+    @pytest.mark.parametrize("num_shards", [2, 4])
+    def test_add_edges_bitwise_identical(self, graph, params, num_shards):
+        edges = [(0, 30), (2, 95), (95, 1)]  # includes node growth
+        single = IncrementalCloudWalker(graph, params=params,
+                                        stream_per_source=True, warm_start=False)
+        single.build()
+        single_info = single.add_edges(edges)
+
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(num_shards),
+                                          params=params)
+        walker.build()
+        sharded_info = walker.add_edges(edges)
+
+        assert sharded_info["affected"] == single_info["affected"]
+        assert np.array_equal(walker.index.diagonal, single.index.diagonal)
+        assert (walker.system - single.system).nnz == 0
+        # Only the shards owning affected rows were re-estimated.
+        expected_touched = frozenset(
+            walker.plan.shard_of(node) for node in sharded_info["affected"]
+        )
+        assert walker.last_touched_shards == expected_touched
+
+    def test_localized_update_touches_shard_subset(self, params):
+        # Disjoint communities on a contiguous plan: an edit inside the
+        # first community can only affect shard 0.
+        graph = generators.community_graph(4, 16, p_in=0.3, p_out=0.0, seed=3)
+        walker = ShardedIncrementalWalker(
+            graph, ShardPlan.contiguous(4, graph.n_nodes), params=params
+        )
+        walker.build()
+        walker.add_edges([(0, 5)])
+        assert walker.last_touched_shards == frozenset({0})
+
+    def test_shard_systems_partition_full_system(self, graph, params):
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(3), params=params)
+        walker.build()
+        blocks = walker.shard_systems()
+        assert len(blocks) == 3
+        assignment = walker.plan.assign(graph.n_nodes)
+        for shard, block in enumerate(blocks):
+            row_nnz = np.diff(block.indptr)
+            assert (row_nnz[assignment != shard] == 0).all()
+        total = blocks[0]
+        for block in blocks[1:]:
+            total = total + block
+        assert (total - walker.system).nnz == 0
+
+    def test_shard_systems_before_build_raises(self, graph, params):
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(2), params=params)
+        with pytest.raises(ConfigurationError):
+            walker.shard_systems()
+
+
+class TestShardedSnapshots:
+    def _sharded(self, graph, params, num_shards=3):
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(num_shards),
+                                          params=params)
+        index = walker.build()
+        return walker, ShardedIndex(index=index, plan=walker.plan)
+
+    def test_round_trip(self, graph, params, tmp_path):
+        walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        version = store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+        assert version == 1
+        loaded_version, loaded, system = store.load()
+        assert loaded_version == 1
+        assert np.array_equal(loaded.index.diagonal, sharded.index.diagonal)
+        assert loaded.plan == sharded.plan
+        assert (system - walker.system).nnz == 0
+
+    def test_partial_write_rolls_back_to_consistent_version(
+            self, graph, params, tmp_path):
+        walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+        # Simulate a crash that wrote version 2 to only one shard.
+        store.shard_store(0).save_snapshot(sharded.index, version=2)
+        assert store.versions() == [1]
+        loaded_version, _loaded, _system = store.load()
+        assert loaded_version == 1
+
+    def test_stale_partial_write_is_replaced_not_adopted(
+            self, graph, params, tmp_path):
+        # A later save that reuses a crashed save's version number must
+        # overwrite the stale shard file, never mix it into the snapshot.
+        walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+        # Crash debris: shard 0 alone holds a v2 with *update-A* data.
+        walker.add_edges([(0, 5)])
+        stale_diagonal = walker.index.diagonal.copy()
+        store.shard_store(0).save_snapshot(walker.index, version=2)
+        # A different history (update B) reaches v2 and snapshots it.
+        fresh_walker, _ = self._sharded(graph, params)
+        fresh_walker.add_edges([(1, 7)])
+        fresh = ShardedIndex(index=fresh_walker.index, plan=fresh_walker.plan)
+        version = store.save_snapshot(
+            fresh, shard_systems=fresh_walker.shard_systems(), version=2
+        )
+        assert version == 2
+        loaded_version, loaded, system = store.load()
+        assert loaded_version == 2
+        assert np.array_equal(loaded.index.diagonal, fresh_walker.index.diagonal)
+        assert not np.array_equal(loaded.index.diagonal, stale_diagonal)
+        assert (system - fresh_walker.system).nnz == 0
+        # Re-saving a now-consistent version is still a per-shard no-op.
+        before = store.shard_store(0).index_path(2).stat().st_mtime_ns
+        store.save_snapshot(fresh, shard_systems=fresh_walker.shard_systems(),
+                            version=2)
+        assert store.shard_store(0).index_path(2).stat().st_mtime_ns == before
+
+    def test_plan_is_immutable_per_directory(self, graph, params, tmp_path):
+        walker, sharded = self._sharded(graph, params, num_shards=3)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+        other_walker, other = self._sharded(graph, params, num_shards=2)
+        with pytest.raises(CloudWalkerError):
+            store.save_snapshot(other, shard_systems=other_walker.shard_systems())
+
+    def test_save_without_systems_loads_none(self, graph, params, tmp_path):
+        _walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        store.save_snapshot(sharded)
+        _version, _loaded, system = store.load()
+        assert system is None
+
+    def test_is_sharded_detection(self, graph, params, tmp_path):
+        assert not ShardedSnapshotStore.is_sharded(tmp_path)
+        _walker, sharded = self._sharded(graph, params)
+        ShardedSnapshotStore(tmp_path).save_snapshot(sharded)
+        assert ShardedSnapshotStore.is_sharded(tmp_path)
+
+    def test_load_missing_or_unknown_version(self, graph, params, tmp_path):
+        store = ShardedSnapshotStore(tmp_path / "empty")
+        with pytest.raises(CloudWalkerError):
+            store.load()
+        _walker, sharded = self._sharded(graph, params)
+        populated = ShardedSnapshotStore(tmp_path / "snaps")
+        populated.save_snapshot(sharded)
+        with pytest.raises(CloudWalkerError):
+            populated.load(version=9)
+
+    def test_prune_bounds_every_shard(self, graph, params, tmp_path):
+        walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps", retain=2)
+        for version in range(1, 5):
+            store.save_snapshot(sharded, shard_systems=walker.shard_systems(),
+                                version=version)
+        assert store.versions() == [3, 4]
+        for shard in range(sharded.num_shards):
+            assert store.shard_store(shard).versions() == [3, 4]
+
+
+class TestShardedIndexDataclass:
+    def test_versions_default_and_touch(self, graph, params):
+        index, walker = build_sharded_index(
+            graph, ShardingParams(num_shards=3), params=params
+        )
+        sharded = ShardedIndex(index=index, plan=walker.plan)
+        assert sharded.shard_versions == [1, 1, 1]
+        sharded.touch([1], version=5)
+        assert sharded.shard_versions == [1, 5, 1]
+        summary = sharded.summary()
+        assert summary["num_shards"] == 3
+        assert summary["shard_versions"] == [1, 5, 1]
+
+    def test_version_length_mismatch_raises(self, graph, params):
+        index, walker = build_sharded_index(
+            graph, ShardingParams(num_shards=3), params=params
+        )
+        with pytest.raises(CloudWalkerError):
+            ShardedIndex(index=index, plan=walker.plan, shard_versions=[1])
+
+    def test_validate_for_delegates(self, graph, params):
+        index, walker = build_sharded_index(
+            graph, ShardingParams(num_shards=2), params=params
+        )
+        sharded = ShardedIndex(index=index, plan=walker.plan)
+        sharded.validate_for(graph)
+        other = generators.copying_model_graph(40, out_degree=3, seed=1)
+        with pytest.raises(CloudWalkerError):
+            sharded.validate_for(other)

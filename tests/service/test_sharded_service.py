@@ -1,0 +1,295 @@
+"""Tests for the scatter-gather :class:`ShardedQueryService`.
+
+The headline contract — sharded answers are bitwise-identical to the
+single-shard service for every query type, before and after live updates —
+is pinned both here (example-based, every strategy) and in the property
+suite (``tests/test_properties.py``, random graphs, K in {1, 2, 5}).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceParams, ShardingParams, UpdateParams
+from repro.core.queries import merge_top_k, rank_top_k, rank_top_k_within
+from repro.errors import CloudWalkerError
+from repro.graph import generators
+from repro.service import (
+    PairQuery,
+    QueryService,
+    ShardedQueryService,
+    SourceQuery,
+    TopKQuery,
+    plan_batch,
+)
+
+QUERIES = [
+    PairQuery(3, 7), PairQuery(7, 3), PairQuery(9, 9), SourceQuery(12),
+    TopKQuery(3, k=6), TopKQuery(50, k=10_000), SourceQuery(3),
+]
+
+
+def assert_answers_equal(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        if isinstance(a, float):
+            assert a == b
+        elif isinstance(a, list):
+            assert a == b
+        else:
+            assert np.array_equal(a, b)
+
+
+@pytest.fixture()
+def make_sharded(service_graph, service_index, service_params):
+    """Factory producing a fresh sharded service per call."""
+
+    def factory(num_shards=3, strategy="hash", **service_overrides):
+        return ShardedQueryService(
+            service_graph, service_index, service_params,
+            ServiceParams(**service_overrides) if service_overrides else None,
+            sharding=ShardingParams(num_shards=num_shards, strategy=strategy),
+        )
+
+    return factory
+
+
+class TestAnswerEquivalence:
+    @pytest.mark.parametrize("num_shards,strategy", [
+        (1, "hash"), (2, "contiguous"), (3, "hash"), (5, "partitioner"),
+    ])
+    def test_bitwise_identical_to_single_shard(self, make_service, make_sharded,
+                                               num_shards, strategy):
+        single = make_service()
+        sharded = make_sharded(num_shards=num_shards, strategy=strategy)
+        reference = single.run_batch(QUERIES)
+        answers = sharded.run_batch(QUERIES)
+        assert_answers_equal(reference, answers)
+        assert answers.index_version == reference.index_version
+
+    def test_cached_second_batch_identical(self, make_service, make_sharded):
+        single = make_service()
+        sharded = make_sharded()
+        single.run_batch(QUERIES)
+        sharded.run_batch(QUERIES)
+        # Second pass is served from the per-shard caches.
+        assert_answers_equal(single.run_batch(QUERIES), sharded.run_batch(QUERIES))
+        assert sharded.stats()["cache_hits"] > 0
+
+    def test_single_query_conveniences(self, make_service, make_sharded):
+        single = make_service()
+        sharded = make_sharded()
+        assert sharded.single_pair(3, 7) == single.single_pair(3, 7)
+        assert np.array_equal(sharded.single_source(5), single.single_source(5))
+        assert sharded.top_k(5, k=4) == single.top_k(5, k=4)
+
+
+class TestScatterGatherTopK:
+    def test_merge_equals_global_ranking(self, make_sharded):
+        sharded = make_sharded(num_shards=4)
+        distributions = sharded._resolve_distributions(
+            plan_batch([SourceQuery(5)]), None,
+        )
+        scores = sharded.engine.propagate_source(5, distributions[5])
+        partials = [
+            rank_top_k_within(scores, 5, owned, 7)
+            for owned in sharded._shard_nodes()
+        ]
+        assert merge_top_k(partials, 7) == rank_top_k(scores, 5, 7)
+
+    def test_ties_merge_canonically(self):
+        # Equal scores must break ties by node id no matter how candidates
+        # are split across shards.
+        scores = np.array([0.5, 0.25, 0.25, 0.25, 0.1])
+        whole = rank_top_k(scores, 0, 3, include_self=True)
+        assert whole == [(0, 0.5), (1, 0.25), (2, 0.25)]
+        partials = [
+            rank_top_k_within(scores, 0, np.array([2, 4]), 3, include_self=True),
+            rank_top_k_within(scores, 0, np.array([0, 1, 3]), 3, include_self=True),
+        ]
+        assert merge_top_k(partials, 3) == whole
+
+    def test_k_larger_than_graph(self, make_service, make_sharded):
+        single = make_service()
+        sharded = make_sharded(num_shards=5)
+        assert sharded.top_k(2, k=10_000) == single.top_k(2, k=10_000)
+
+
+class TestShardRouting:
+    def test_sources_cached_on_owning_shard(self, make_sharded):
+        sharded = make_sharded(num_shards=3)
+        sharded.run_batch([SourceQuery(4), SourceQuery(9), PairQuery(17, 23)])
+        for source in (4, 9, 17, 23):
+            owner = sharded.shard_of(source)
+            for shard, cache in enumerate(sharded.shard_caches):
+                entries = [key.node for key in cache._entries]
+                assert (source in entries) == (shard == owner)
+
+    def test_per_shard_capacity(self, make_sharded):
+        sharded = make_sharded(num_shards=2, cache_capacity=1)
+        sharded.run_batch([SourceQuery(node) for node in range(10)])
+        stats = sharded.stats()
+        assert stats["cache_capacity"] == 2
+        assert stats["cache_size"] <= 2
+
+    def test_stats_shape(self, make_sharded):
+        sharded = make_sharded(num_shards=3)
+        sharded.run_batch(QUERIES)
+        stats = sharded.stats()
+        assert stats["num_shards"] == 3
+        assert len(stats["shards"]) == 3
+        assert sum(row["nodes"] for row in stats["shards"]) == sharded.graph.n_nodes
+        assert sum(row["sources_simulated"] for row in stats["shards"]) \
+            == stats["sources_simulated"]
+        assert stats["cache_size"] == sum(row["cache_size"]
+                                          for row in stats["shards"])
+
+
+class TestLiveUpdates:
+    EDIT = [(0, 60), (2, 121), (121, 1)]
+
+    def _services(self, service_graph, params, num_shards=3):
+        single = QueryService.build(service_graph, params)
+        sharded = ShardedQueryService.build(
+            service_graph, params,
+            sharding=ShardingParams(num_shards=num_shards),
+        )
+        return single, sharded
+
+    def test_update_answers_identical(self, service_graph, service_params):
+        single, sharded = self._services(service_graph, service_params)
+        single.add_edges(self.EDIT)
+        sharded.add_edges(self.EDIT)
+        assert_answers_equal(single.run_batch(QUERIES), sharded.run_batch(QUERIES))
+        assert sharded.index_version == single.index_version == 2
+
+    def test_deferred_updates_drain_identically(self, service_graph, service_params):
+        single, sharded = self._services(service_graph, service_params)
+        single.add_edges(self.EDIT, defer=True)
+        sharded.add_edges(self.EDIT, defer=True)
+        assert sharded.pending_updates == len(self.EDIT)
+        reference = single.run_batch(QUERIES)
+        answers = sharded.run_batch(QUERIES)
+        assert_answers_equal(reference, answers)
+        assert answers.index_version == 2
+        assert sharded.pending_updates == 0
+
+    def test_only_touched_shards_bump_and_invalidate(self, service_params):
+        # Disjoint communities + contiguous plan: an edit inside community 0
+        # must leave every other shard's version and cache untouched.
+        graph = generators.community_graph(4, 16, p_in=0.35, p_out=0.0, seed=3)
+        sharded = ShardedQueryService.build(
+            graph, service_params,
+            sharding=ShardingParams(num_shards=4, strategy="contiguous"),
+        )
+        sharded.run_batch([SourceQuery(node) for node in range(0, 64, 4)])
+        sizes_before = [len(cache) for cache in sharded.shard_caches]
+        result = sharded.add_edges([(0, 5)])
+        assert result is not None
+        assert sharded.shard_versions[0] == 2
+        assert sharded.shard_versions[1:] == [1, 1, 1]
+        for shard in range(1, 4):
+            assert len(sharded.shard_caches[shard]) == sizes_before[shard]
+            assert sharded.shard_caches[shard].stats.invalidations == 0
+        assert sharded.shard_caches[0].stats.invalidations > 0
+
+    def test_duplicate_edges_are_noops(self, service_graph, service_params):
+        _single, sharded = self._services(service_graph, service_params, 2)
+        edge = next(iter(map(tuple, service_graph.edge_array()[:1])))
+        assert sharded.add_edges([edge]) is None
+        assert sharded.index_version == 1
+
+    def test_edges_routed_counter(self, service_graph, service_params):
+        _single, sharded = self._services(service_graph, service_params, 2)
+        sharded.add_edges(self.EDIT)
+        routed = sum(row["edges_routed"] for row in sharded.stats()["shards"])
+        assert routed == len(self.EDIT)
+
+
+class TestShardedPersistence:
+    def test_snapshot_round_trip_resumes_incrementally(self, service_graph,
+                                                       service_params, tmp_path):
+        sharded = ShardedQueryService.build(
+            service_graph, service_params,
+            sharding=ShardingParams(num_shards=3),
+        )
+        sharded.add_edges([(0, 60)])
+        version, path = sharded.save_snapshot(tmp_path / "snaps")
+        assert version == 2
+        restored = ShardedQueryService.from_snapshot(
+            sharded.graph, tmp_path / "snaps"
+        )
+        assert restored.index_version == 2
+        assert restored.num_shards == 3
+        # The restored system lets the next update run incrementally.
+        assert restored._mutator is not None
+        assert_answers_equal(sharded.run_batch(QUERIES), restored.run_batch(QUERIES))
+        result = restored.add_edges([(1, 40)])
+        assert result is not None and restored.index_version == 3
+
+    def test_save_same_version_twice_is_noop(self, service_graph, service_params,
+                                             tmp_path):
+        sharded = ShardedQueryService.build(
+            service_graph, service_params, sharding=ShardingParams(num_shards=2),
+        )
+        sharded.save_snapshot(tmp_path / "snaps")
+        written = sharded.stats()["snapshots_written"]
+        sharded.save_snapshot(tmp_path / "snaps")
+        assert sharded.stats()["snapshots_written"] == written
+
+    def test_snapshot_requires_directory(self, make_sharded):
+        with pytest.raises(CloudWalkerError):
+            make_sharded().save_snapshot()
+
+    def test_auto_snapshot_cadence(self, service_graph, service_params, tmp_path):
+        sharded = ShardedQueryService.build(
+            service_graph, service_params,
+            update_params=UpdateParams(snapshot_every=1,
+                                       snapshot_dir=str(tmp_path / "snaps")),
+            sharding=ShardingParams(num_shards=2),
+        )
+        sharded.add_edges([(0, 60)])
+        from repro.core.index import ShardedSnapshotStore
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        assert store.latest_version() == 2
+
+    def test_from_index_file_cold_start(self, service_graph, service_index,
+                                        service_params, tmp_path, make_service):
+        path = tmp_path / "index.npz"
+        service_index.save(path)
+        sharded = ShardedQueryService.from_index_file(
+            service_graph, path, params=service_params,
+            sharding=ShardingParams(num_shards=3),
+        )
+        single = make_service()
+        assert_answers_equal(single.run_batch(QUERIES), sharded.run_batch(QUERIES))
+        # First update attaches (estimates the system shard-by-shard).
+        result = sharded.add_edges([(0, 60)])
+        assert result is not None and sharded.index_version == 2
+
+
+class TestConstruction:
+    def test_sharded_index_input_adopts_plan(self, service_graph, service_index,
+                                             service_params):
+        from repro.core.index import ShardedIndex
+        from repro.graph.partition import ShardPlan
+        plan = ShardPlan.contiguous(2, service_graph.n_nodes)
+        sharded_index = ShardedIndex(index=service_index, plan=plan,
+                                     shard_versions=[4, 4])
+        service = ShardedQueryService(service_graph, sharded_index,
+                                      service_params)
+        assert service.num_shards == 2
+        assert service.plan.strategy == "contiguous"
+        assert service.shard_versions == [4, 4]
+
+    def test_plan_shard_count_mismatch_raises(self, service_graph, service_index,
+                                              service_params):
+        from repro.graph.partition import ShardPlan
+        with pytest.raises(CloudWalkerError):
+            ShardedQueryService(
+                service_graph, service_index, service_params,
+                sharding=ShardingParams(num_shards=3),
+                plan=ShardPlan.hashed(2),
+            )
+
+    def test_repr_mentions_shards(self, make_sharded):
+        assert "shards=3" in repr(make_sharded())

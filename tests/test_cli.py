@@ -372,6 +372,173 @@ class TestUpdateAndSnapshot:
         assert "no snapshots" in output
 
 
+class TestShardedCli:
+    def test_index_shards_bitwise_identical_across_counts(self, graph_file, tmp_path):
+        import numpy as np
+
+        from repro.core.index import DiagonalIndex
+
+        paths = {}
+        for shards in (2, 4):
+            paths[shards] = tmp_path / f"index-{shards}.npz"
+            code, output = run_cli(
+                "index", "--graph", str(graph_file),
+                "--output", str(paths[shards]),
+                "--walkers", "40", "--steps", "5", "--shards", str(shards),
+            )
+            assert code == 0
+            assert f"across {shards} 'hash' shards" in output
+        left = DiagonalIndex.load(paths[2])
+        right = DiagonalIndex.load(paths[4])
+        assert np.array_equal(left.diagonal, right.diagonal)
+
+    def test_invalid_shard_count_fails_loudly(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+            "--shards", "0",
+        )
+        assert code == 1
+        assert "num_shards must be >= 1" in output
+
+    def test_index_shards_rejects_other_modes(self, graph_file, tmp_path):
+        code, output = run_cli(
+            "index", "--graph", str(graph_file),
+            "--output", str(tmp_path / "index.npz"),
+            "--shards", "2", "--mode", "rdd",
+        )
+        assert code == 1
+        assert "local" in output
+
+    def test_serve_loop_sharded(self, indexed, monkeypatch):
+        import io as io_module
+        import sys
+
+        graph_file, index_path = indexed
+        monkeypatch.setattr(
+            sys, "stdin",
+            io_module.StringIO("pair 3 9\ntopk 3 5\nadd 2 50\nversion\nquit\n"),
+        )
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+            "--shards", "3",
+        )
+        assert code == 0
+        assert "across 3 shards" in output
+        assert "s(3, 9)" in output
+        assert "rows re-estimated, index now version 2" in output
+        assert "index version 2" in output
+
+    def test_sharded_serve_answers_match_single_shard(self, indexed, monkeypatch):
+        import io as io_module
+        import sys
+
+        graph_file, index_path = indexed
+        outputs = []
+        for extra in ([], ["--shards", "4"]):
+            monkeypatch.setattr(
+                sys, "stdin", io_module.StringIO("pair 3 9\ntopk 3 5\nquit\n")
+            )
+            code, output = run_cli(
+                "serve", "--graph", str(graph_file), "--index", str(index_path),
+                *extra,
+            )
+            assert code == 0
+            outputs.append([line for line in output.splitlines()
+                            if line.startswith(("s(", "topk "))])
+        assert outputs[0] == outputs[1]
+
+    def test_update_sharded_snapshot_lineage(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("1 50\n2 50\n")
+        snap_dir = tmp_path / "snaps"
+        graph2 = tmp_path / "updated.tsv"
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--shards", "2",
+            "--snapshot-dir", str(snap_dir), "--output-graph", str(graph2),
+        )
+        assert code == 0
+        assert "(2 shards)" in output
+        assert (snap_dir / "shard_plan.json").exists()
+        assert (snap_dir / "shard-00").is_dir()
+        assert (snap_dir / "shard-01").is_dir()
+
+        # Resume from the sharded lineage (auto-detected, plan immutable).
+        edges2 = tmp_path / "edges2.tsv"
+        edges2.write_text("5 9\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph2), "--edges", str(edges2),
+            "--snapshot-dir", str(snap_dir), "--shards", "4",
+            "--output-graph", str(graph2),
+        )
+        assert code == 0
+        assert "sharded snapshot v2 (2 shards)" in output
+        assert "keeping the directory's 2 shards" in output
+        assert "index now version 3" in output
+
+    def test_update_recovers_sharded_dir_without_consistent_snapshot(
+            self, indexed, tmp_path):
+        # A crash during the very first sharded save leaves shard_plan.json
+        # with no consistent version; update must fall back to --index under
+        # the persisted plan instead of hard-failing.
+        import json
+
+        graph_file, index_path = indexed
+        snap_dir = tmp_path / "snaps"
+        snap_dir.mkdir()
+        (snap_dir / "shard_plan.json").write_text(json.dumps(
+            {"num_shards": 2, "strategy": "hash", "n_nodes": None}
+        ))
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("1 50\n")
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--snapshot-dir", str(snap_dir),
+        )
+        assert code == 0
+        assert "no consistent sharded snapshot" in output
+        assert "2-shard plan" in output
+        assert "snapshot v2 written" in output
+
+        # Without --index there is nothing to recover from: fail loudly.
+        code, output = run_cli(
+            "update", "--graph", str(graph_file),
+            "--edges", str(edges), "--snapshot-dir", str(tmp_path / "snaps2"),
+        )
+        assert code == 1
+        (tmp_path / "snaps2").mkdir()
+        (tmp_path / "snaps2" / "shard_plan.json").write_text(json.dumps(
+            {"num_shards": 2, "strategy": "hash", "n_nodes": None}
+        ))
+        code, output = run_cli(
+            "update", "--graph", str(graph_file),
+            "--edges", str(edges), "--snapshot-dir", str(tmp_path / "snaps2"),
+        )
+        assert code == 1
+        assert "no consistent sharded snapshot" in output
+
+    def test_update_shards_rejects_plain_lineage(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("1 50\n")
+        snap_dir = tmp_path / "snaps"
+        graph2 = tmp_path / "updated.tsv"
+        code, _ = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--snapshot-dir", str(snap_dir),
+            "--output-graph", str(graph2),
+        )
+        assert code == 0
+        code, output = run_cli(
+            "update", "--graph", str(graph2), "--edges", str(edges),
+            "--snapshot-dir", str(snap_dir), "--shards", "2",
+        )
+        assert code == 1
+        assert "single-shard snapshot lineage" in output
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         import os

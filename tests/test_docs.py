@@ -1,9 +1,23 @@
-"""The docs/ tree exists, is complete, and cites only paths that resolve."""
+"""The docs/ tree exists, is complete, and cites only refs that resolve.
 
+Three layers of honesty checks:
+
+* required documents exist and still cover the topics source docstrings
+  cite them for;
+* every path and ``module.symbol`` reference in the docs resolves
+  (``scripts/check_docs.py``, also run standalone);
+* every public symbol of the serving/persistence API surface carries a
+  docstring.
+"""
+
+import importlib
 import importlib.util
+import inspect
 import subprocess
 import sys
 from pathlib import Path
+
+import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 DOCS_DIR = REPO_ROOT / "docs"
@@ -44,6 +58,40 @@ class TestDocsTree:
         assert "add_edges" in text
         assert "index_version" in text
 
+    def test_sharding_and_operations_docs_exist_and_are_linked(self):
+        assert (DOCS_DIR / "sharding.md").is_file()
+        assert (DOCS_DIR / "operations.md").is_file()
+        architecture = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for needle in ("sharding.md", "operations.md"):
+            assert needle in architecture, f"architecture.md must link {needle}"
+            assert needle in readme, f"README.md must link {needle}"
+
+    def test_sharding_md_covers_contracted_topics(self):
+        text = (DOCS_DIR / "sharding.md").read_text(encoding="utf-8")
+        for needle in ("ShardPlan", "bitwise", "scatter-gather", "merge",
+                       "touched shard", "shard_plan.json", "critical path",
+                       "Rebuild"):
+            assert needle in text, f"docs/sharding.md no longer covers {needle!r}"
+
+    def test_operations_md_covers_contracted_topics(self):
+        text = (DOCS_DIR / "operations.md").read_text(encoding="utf-8")
+        for needle in ("snapshot", "max_pending_edges", "cache_capacity",
+                       "cache_memory_bytes", "from_snapshot", "monitor"):
+            assert needle in text, f"docs/operations.md no longer covers {needle!r}"
+
+    def test_readme_cli_help_block_is_current(self):
+        """The README's regenerated help block must list every subcommand."""
+        from repro.cli import build_parser
+
+        text = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        subcommands = build_parser()._subparsers._group_actions[0].choices
+        for name in subcommands:
+            assert name in text, (
+                f"README CLI help block is stale: subcommand {name!r} missing "
+                "(regenerate with `python -m repro --help`)"
+            )
+
 
 class TestDocLinks:
     def test_every_cited_path_resolves(self):
@@ -71,3 +119,66 @@ class TestDocLinks:
         )
         assert completed.returncode == 0, completed.stderr
         assert "docs OK" in completed.stdout
+
+    def test_checker_detects_broken_symbol_reference(self):
+        """The symbol resolver must catch renamed attributes, not just paths."""
+        checker = _load_checker()
+        table = checker._public_symbol_table()
+        assert checker._resolve_symbol("repro.service.QueryService.run_batch",
+                                       table) is None
+        assert checker._resolve_symbol("QueryService.run_batch", table) is None
+        assert checker._resolve_symbol("ServiceParams.cache_capacity",
+                                       table) is None
+        # Dataclass fields without defaults still count as attributes.
+        assert checker._resolve_symbol("DiagonalIndex.diagonal", table) is None
+        # Foreign roots are skipped, never flagged.
+        assert checker._resolve_symbol("np.ndarray", table) is None
+        # Renamed/missing attributes are flagged on both root kinds.
+        assert checker._resolve_symbol("repro.service.QueryService.run_batsch",
+                                       table) is not None
+        assert checker._resolve_symbol("QueryService.run_batsch", table) is not None
+        assert checker._resolve_symbol("repro.core.gone_module.build", table) \
+            is not None
+
+
+class TestPublicDocstrings:
+    """Every public symbol of the serving/persistence surface is documented."""
+
+    MODULES = [
+        "repro.service", "repro.service.service", "repro.service.sharded",
+        "repro.service.batching", "repro.service.cache", "repro.service.updates",
+        "repro.core.index", "repro.core.sharding", "repro.core.queries",
+        "repro.graph.partition",
+    ]
+
+    @pytest.mark.parametrize("module_name", MODULES)
+    def test_public_symbols_have_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        missing = []
+        if not inspect.getdoc(module):
+            missing.append(module_name)
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module_name:
+                continue  # re-export; documented at its home
+            if not inspect.getdoc(obj):
+                missing.append(f"{module_name}.{name}")
+            if inspect.isclass(obj):
+                for member_name, member in vars(obj).items():
+                    if member_name.startswith("_"):
+                        continue
+                    func = None
+                    if inspect.isfunction(member):
+                        func = member
+                    elif isinstance(member, (classmethod, staticmethod)):
+                        func = member.__func__
+                    elif isinstance(member, property):
+                        func = member.fget
+                    if func is not None and not inspect.getdoc(func):
+                        missing.append(f"{module_name}.{name}.{member_name}")
+        assert missing == [], (
+            "public symbols without docstrings: " + ", ".join(missing)
+        )

@@ -62,6 +62,15 @@ def test_live_updates_example():
     assert "restarted at version 3" in output
 
 
+def test_sharded_serving_example():
+    output = _run_example("sharded_serving.py")
+    assert "4-shard build bitwise-identical to single-shard: True" in output
+    assert "answers match single-shard: True" in output
+    assert "post-update answers match single-shard: True" in output
+    assert "sharded snapshot v2 written" in output
+    assert "answers match: True" in output
+
+
 def test_every_example_has_a_module_docstring():
     import ast
 

@@ -343,3 +343,100 @@ class TestLiveUpdateProperties:
         assert versions == sorted(versions)
         assert len(set(versions)) == len(versions)
         assert versions[0] == 1 and versions[-1] == service.index_version
+
+
+# --------------------------------------------------------------------------- #
+# Sharding invariants
+# --------------------------------------------------------------------------- #
+class TestShardingProperties:
+    """Sharded serving: bitwise equivalence to the single-shard path.
+
+    The contract under test (see ``docs/sharding.md``): for any graph, any
+    shard count and any strategy, every pair / source / top-k answer of the
+    sharded service — before *and* after live edge insertions — is
+    bitwise-identical to the single-shard service's.
+    """
+
+    @staticmethod
+    def _params(seed: int) -> SimRankParams:
+        return SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=2,
+                             index_walkers=15, query_walkers=40, seed=seed)
+
+    @staticmethod
+    def _queries(draw_node, n_queries: int):
+        from repro.service import PairQuery, TopKQuery
+
+        queries = []
+        for _ in range(n_queries):
+            queries.append(PairQuery(draw_node(), draw_node()))
+            queries.append(SourceQuery(draw_node()))
+            queries.append(TopKQuery(draw_node(), k=4))
+        return queries
+
+    @staticmethod
+    def _assert_equal(reference, answers):
+        assert answers.index_version == reference.index_version
+        for left, right in zip(reference, answers):
+            if isinstance(left, float):
+                assert left == right
+            elif isinstance(left, list):
+                assert left == right
+            else:
+                assert np.array_equal(left, right)
+
+    @given(graphs(max_nodes=14, max_edges=50), st.data())
+    def test_sharded_answers_bitwise_equal_single_shard(self, graph, data):
+        from repro.config import ShardingParams
+        from repro.service import ShardedQueryService
+
+        params = self._params(seed=data.draw(st.integers(0, 500)))
+        num_shards = data.draw(st.sampled_from([1, 2, 5]))
+        strategy = data.draw(st.sampled_from(["hash", "contiguous", "partitioner"]))
+        draw_node = lambda: data.draw(  # noqa: E731
+            st.integers(min_value=0, max_value=graph.n_nodes - 1))
+        queries = self._queries(draw_node, n_queries=2)
+
+        single = QueryService.build(graph, params)
+        sharded = ShardedQueryService.build(
+            graph, params,
+            sharding=ShardingParams(num_shards=num_shards, strategy=strategy),
+        )
+        self._assert_equal(single.run_batch(queries), sharded.run_batch(queries))
+        # Second pass runs from the per-shard caches; still identical.
+        self._assert_equal(single.run_batch(queries), sharded.run_batch(queries))
+
+        # Live edge insertions (possibly growing the graph by one node,
+        # possibly duplicating existing edges) keep the equivalence.
+        n_edges = data.draw(st.integers(min_value=1, max_value=3))
+        new_edges = data.draw(st.lists(
+            st.tuples(st.integers(0, graph.n_nodes),
+                      st.integers(0, graph.n_nodes)),
+            min_size=n_edges, max_size=n_edges,
+        ))
+        single_result = single.add_edges(new_edges)
+        sharded_result = sharded.add_edges(new_edges)
+        assert (single_result is None) == (sharded_result is None)
+        if single_result is not None:
+            assert sharded_result.affected == single_result.affected
+        self._assert_equal(single.run_batch(queries), sharded.run_batch(queries))
+
+    @given(graphs(max_nodes=14, max_edges=50), st.data())
+    def test_shard_versions_partition_the_global_version(self, graph, data):
+        from repro.config import ShardingParams
+        from repro.service import ShardedQueryService
+
+        params = self._params(seed=7)
+        sharded = ShardedQueryService.build(
+            graph, params, sharding=ShardingParams(num_shards=2),
+        )
+        head = data.draw(st.integers(0, graph.n_nodes - 1))
+        tail = data.draw(st.integers(0, graph.n_nodes - 1))
+        result = sharded.add_edges([(tail, head)])
+        if result is None:
+            assert sharded.shard_versions == [1, 1]
+            return
+        touched = {sharded.shard_of(node) for node in result.affected}
+        for shard in range(sharded.num_shards):
+            expected = 2 if shard in touched else 1
+            assert sharded.shard_versions[shard] == expected
+        assert max(sharded.shard_versions) == sharded.index_version
