@@ -132,6 +132,18 @@ def _smoke_service_throughput() -> Dict[str, Any]:
         return module.service_throughput_experiment()
 
 
+def _smoke_parallel_serve() -> Dict[str, Any]:
+    module = _load("bench_parallel_serve.py")
+    with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=15,
+                  QUERY_WALKERS=60, NUM_SHARDS=4, WORKER_COUNTS=(1, 2),
+                  N_SOURCES=24, N_TOPK=3, UPDATE_GRAPH_NODES=80):
+        result = module.parallel_serve_experiment()
+    # Bitwise identity is size-independent, so it IS asserted at smoke size
+    # (unlike the wall-clock gate).
+    assert result["all_identical"], "parallel smoke scatter diverged bitwise"
+    return result
+
+
 def _smoke_sharded_build() -> Dict[str, Any]:
     module = _load("bench_sharded_build.py")
     with _patched(module, GRAPH_NODES=150, INDEX_WALKERS=20, WALK_STEPS=4,
@@ -192,6 +204,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_fig2_scalability.py": _smoke_fig2,
     "bench_fig3_effectiveness.py": _smoke_fig3,
     "bench_incremental_service.py": _smoke_incremental_service,
+    "bench_parallel_serve.py": _smoke_parallel_serve,
     "bench_service_throughput.py": _smoke_service_throughput,
     "bench_sharded_build.py": _smoke_sharded_build,
     "bench_table1_datasets.py": _smoke_table1,

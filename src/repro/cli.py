@@ -18,7 +18,8 @@ Examples
     python -m repro query topk --graph graph.tsv --index index.npz --source 3 --k 10
     python -m repro query-batch --graph graph.tsv --index index.npz --queries queries.txt
     python -m repro serve --graph graph.tsv --index index.npz
-    python -m repro serve --graph graph.tsv --index index.npz --shards 4
+    python -m repro serve --graph graph.tsv --index index.npz --shards 4 \
+        --serve-backend threads --serve-workers 4
     python -m repro update --graph graph.tsv --index index.npz \
         --edges new_edges.tsv --snapshot-dir snapshots/ --output index.npz
     python -m repro snapshot list --dir snapshots/
@@ -194,6 +195,7 @@ def _cmd_index(args: argparse.Namespace, out) -> int:
         start = time.perf_counter()
         index, sharded_walker = build_sharded_index(graph, sharding, params=params)
         elapsed = time.perf_counter() - start
+        sharded_walker.backend.close()
         index.save(args.output)
         per_shard = sharded_walker.shard_build_seconds
         critical_path = max(per_shard.values()) if per_shard else 0.0
@@ -265,6 +267,16 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         default=defaults.max_batch_size,
                         help="max sources per vectorised walk batch "
                              "(default: %(default)s)")
+    parser.add_argument("--serve-backend", dest="serve_backend",
+                        default=defaults.serve_backend,
+                        choices=["serial", "threads", "processes"],
+                        help="executor backend for query-time scatter across "
+                             "shards; needs --shards > 1 to matter "
+                             "(default: %(default)s)")
+    parser.add_argument("--serve-workers", dest="serve_workers", type=int,
+                        default=defaults.serve_workers,
+                        help="worker bound for the threads/processes serve "
+                             "backend (default: %(default)s)")
 
 
 def _make_service(args: argparse.Namespace):
@@ -272,7 +284,8 @@ def _make_service(args: argparse.Namespace):
 
     graph = _load_graph(args)
     service_params = ServiceParams(
-        cache_capacity=args.cache_capacity, max_batch_size=args.max_batch_size
+        cache_capacity=args.cache_capacity, max_batch_size=args.max_batch_size,
+        serve_backend=args.serve_backend, serve_workers=args.serve_workers,
     )
     # Parameters default to the ones persisted in the index so a cold-started
     # service answers exactly like the process that built the index.
@@ -326,14 +339,17 @@ def _cmd_query_batch(args: argparse.Namespace, out) -> int:
         print("no queries found", file=out)
         return 2
     service = _make_service(args)
-    start = time.perf_counter()
-    answers = service.run_batch(queries)
-    elapsed = time.perf_counter() - start
-    for query, answer in zip(queries, answers):
-        print(_format_answer(query, answer), file=out)
-    print(f"answered {len(queries)} queries in {elapsed:.3f}s "
-          f"({len(queries) / max(elapsed, 1e-9):.1f} q/s)", file=out)
-    _print_service_stats(service, out)
+    try:
+        start = time.perf_counter()
+        answers = service.run_batch(queries)
+        elapsed = time.perf_counter() - start
+        for query, answer in zip(queries, answers):
+            print(_format_answer(query, answer), file=out)
+        print(f"answered {len(queries)} queries in {elapsed:.3f}s "
+              f"({len(queries) / max(elapsed, 1e-9):.1f} q/s)", file=out)
+        _print_service_stats(service, out)
+    finally:
+        service.close()
     return 0
 
 
@@ -341,39 +357,45 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
     from repro.service import parse_edge, parse_query
 
     service = _make_service(args)
-    sharded = f" across {args.shards} shards" if getattr(args, "shards", 1) > 1 else ""
-    print(f"serving SimRank queries over {service.graph.name!r} "
-          f"({service.graph.n_nodes} nodes{sharded}); one query per line "
-          "('pair i j', 'source i', 'topk i [k]'), 'add i j' to insert an "
-          "edge live, 'version', 'stats' or 'quit'",
-          file=out)
-    for line in sys.stdin:
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        if line.lower() in ("quit", "exit"):
-            break
-        if line.lower() == "stats":
-            _print_service_stats(service, out)
-            continue
-        if line.lower() == "version":
-            print(f"index version {service.index_version}", file=out)
-            continue
-        try:
-            if line.lower().startswith("add "):
-                result = service.add_edges([parse_edge(line[4:])])
-                if result is None:
-                    print("edge already present; nothing to do", file=out)
-                else:
-                    print(f"edge added: {result.affected_rows} rows "
-                          f"re-estimated, index now version "
-                          f"{service.index_version}", file=out)
+    try:
+        sharded = f" across {args.shards} shards" \
+            if getattr(args, "shards", 1) > 1 else ""
+        print(f"serving SimRank queries over {service.graph.name!r} "
+              f"({service.graph.n_nodes} nodes{sharded}); one query per line "
+              "('pair i j', 'source i', 'topk i [k]'), 'add i j' to insert an "
+              "edge live, 'version', 'stats' or 'quit'",
+              file=out)
+        for line in sys.stdin:
+            line = line.strip()
+            if not line or line.startswith("#"):
                 continue
-            query = parse_query(line, default_k=args.k)
-            print(_format_answer(query, service.run_batch([query])[0]), file=out)
-        except CloudWalkerError as exc:
-            print(f"error: {exc}", file=out)
-    _print_service_stats(service, out)
+            if line.lower() in ("quit", "exit"):
+                break
+            if line.lower() == "stats":
+                _print_service_stats(service, out)
+                continue
+            if line.lower() == "version":
+                print(f"index version {service.index_version}", file=out)
+                continue
+            try:
+                if line.lower().startswith("add "):
+                    result = service.add_edges([parse_edge(line[4:])])
+                    if result is None:
+                        print("edge already present; nothing to do", file=out)
+                    else:
+                        print(f"edge added: {result.affected_rows} rows "
+                              f"re-estimated, index now version "
+                              f"{service.index_version}", file=out)
+                    continue
+                query = parse_query(line, default_k=args.k)
+                print(_format_answer(query, service.run_batch([query])[0]),
+                      file=out)
+            except CloudWalkerError as exc:
+                print(f"error: {exc}", file=out)
+        _print_service_stats(service, out)
+    finally:
+        # Releases the persistent scatter pools of a sharded service.
+        service.close()
     return 0
 
 
@@ -475,38 +497,43 @@ def _cmd_update(args: argparse.Namespace, out) -> int:
         return 2
     update_params = UpdateParams(snapshot_retain=args.retain)
     service, source = _load_update_service(args, update_params, graph, out)
-
-    start = time.perf_counter()
-    result = service.add_edges(edges)
-    elapsed = time.perf_counter() - start
-    print(f"loaded {source}", file=out)
-    if result is None:
-        print(f"all {len(edges)} edges already present; nothing to update",
-              file=out)
-    else:
-        print(f"applied {result.edges_added} edge insertions in {elapsed:.2f}s: "
-              f"{result.affected_rows}/{service.graph.n_nodes} rows re-estimated "
-              f"({result.new_nodes} new nodes), index now version "
-              f"{service.index_version}", file=out)
-    if args.snapshot_dir:
-        version, path = service.save_snapshot(args.snapshot_dir)
-        print(f"snapshot v{version} written to {path}", file=out)
-        if result is not None and not args.output_graph:
-            print("warning: snapshot records the UPDATED graph but "
-                  "--output-graph was not given; pass the updated edge list "
-                  "next time or the snapshot will reject the stale graph",
+    try:
+        start = time.perf_counter()
+        result = service.add_edges(edges)
+        elapsed = time.perf_counter() - start
+        print(f"loaded {source}", file=out)
+        if result is None:
+            print(f"all {len(edges)} edges already present; nothing to update",
                   file=out)
-    if args.output:
-        service.index.save(args.output)
-        print(f"updated index written to {args.output}", file=out)
-    if args.output_graph:
-        io.write_edge_list(service.graph, args.output_graph)
-        print(f"updated graph ({service.graph.n_edges} edges) written to "
-              f"{args.output_graph}", file=out)
+        else:
+            print(f"applied {result.edges_added} edge insertions in "
+                  f"{elapsed:.2f}s: {result.affected_rows}/"
+                  f"{service.graph.n_nodes} rows re-estimated "
+                  f"({result.new_nodes} new nodes), index now version "
+                  f"{service.index_version}", file=out)
+        if args.snapshot_dir:
+            version, path = service.save_snapshot(args.snapshot_dir)
+            print(f"snapshot v{version} written to {path}", file=out)
+            if result is not None and not args.output_graph:
+                print("warning: snapshot records the UPDATED graph but "
+                      "--output-graph was not given; pass the updated edge list "
+                      "next time or the snapshot will reject the stale graph",
+                      file=out)
+        if args.output:
+            service.index.save(args.output)
+            print(f"updated index written to {args.output}", file=out)
+        if args.output_graph:
+            io.write_edge_list(service.graph, args.output_graph)
+            print(f"updated graph ({service.graph.n_edges} edges) written to "
+                  f"{args.output_graph}", file=out)
+    finally:
+        service.close()
     return 0
 
 
 def _cmd_snapshot(args: argparse.Namespace, out) -> int:
+    if ShardedSnapshotStore.is_sharded(args.dir):
+        return _cmd_snapshot_sharded(args, out)
     store = SnapshotStore(args.dir, retain=args.retain)
     if args.action == "list":
         versions = store.versions()
@@ -533,6 +560,46 @@ def _cmd_snapshot(args: argparse.Namespace, out) -> int:
         print(f"pruned versions {removed}; kept {store.versions()}", file=out)
     else:
         print(f"nothing to prune; kept {store.versions()}", file=out)
+    return 0
+
+
+def _cmd_snapshot_sharded(args: argparse.Namespace, out) -> int:
+    """``snapshot`` against a sharded lineage (``shard_plan.json`` present).
+
+    ``list`` shows the *consistent* versions (present in every shard
+    store); ``prune`` bounds every shard store; ``save`` is refused — a
+    sharded snapshot needs per-shard system blocks, which only a serving
+    process has (``update --snapshot-dir`` or
+    ``ShardedQueryService.save_snapshot``).
+    """
+    store = ShardedSnapshotStore(args.dir, retain=args.retain)
+    plan = store.load_plan()
+    if args.action == "list":
+        versions = store.versions()
+        if not versions:
+            print(f"no consistent sharded snapshots in {args.dir} "
+                  f"({plan.num_shards}-shard {plan.strategy!r} plan)", file=out)
+            return 0
+        print(f"{plan.num_shards}-shard {plan.strategy!r} lineage", file=out)
+        print(f"{'version':<9} {'nodes':<9} {'edges':<10} {'systems':<8} path",
+              file=out)
+        for version in versions:
+            infos = [store.shard_store(shard).describe(version)
+                     for shard in range(plan.num_shards)]
+            systems = sum(1 for info in infos if info["has_system"])
+            print(f"{version:<9} {infos[0]['n_nodes']:<9} "
+                  f"{infos[0]['n_edges']:<10} "
+                  f"{f'{systems}/{plan.num_shards}':<8} {args.dir}", file=out)
+        return 0
+    if args.action == "save":
+        print(f"{args.dir} is a sharded lineage; 'snapshot save' of a plain "
+              "index would leave the shards without their system blocks — "
+              "snapshot through the serving path instead "
+              "(python -m repro update --snapshot-dir ...)", file=out)
+        return 2
+    store.prune()
+    print(f"pruned every shard store to {args.retain} versions; "
+          f"kept {store.versions()}", file=out)
     return 0
 
 
@@ -596,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_batch.add_argument("--k", type=int, default=10,
                              help="default k for 'topk i' lines without one")
+    _add_sharding_arguments(query_batch)
 
     serve = subparsers.add_parser(
         "serve",

@@ -148,11 +148,26 @@ class ServiceParams:
         but increase peak memory (``sources * walkers`` walker slots).
     default_top_k:
         ``k`` used by top-k queries that do not specify one.
+    serve_backend:
+        Executor backend the sharded service scatters *query-time* work
+        through (per-shard walk simulation and top-k ranking):
+        ``"serial"``, ``"threads"`` or ``"processes"`` (see
+        :mod:`repro.engine.executor`).  Like the build-time
+        ``ShardingParams.backend``, it changes only wall-clock, never
+        answers.  Ignored by the single-shard service.
+    serve_workers:
+        Worker bound for the ``threads`` / ``processes`` serve backends.
+        The pool is persistent (spun up once, reused per batch); call
+        ``ShardedQueryService.close`` to release it.
     """
 
     cache_capacity: int = 1024
     max_batch_size: int = 256
     default_top_k: int = 10
+    serve_backend: str = "serial"
+    serve_workers: int = 4
+
+    _VALID_SERVE_BACKENDS = ("serial", "threads", "processes")
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -167,6 +182,15 @@ class ServiceParams:
             raise ConfigurationError(
                 f"default_top_k must be >= 1, got {self.default_top_k}"
             )
+        if self.serve_backend not in self._VALID_SERVE_BACKENDS:
+            raise ConfigurationError(
+                f"serve_backend must be one of {self._VALID_SERVE_BACKENDS}, "
+                f"got {self.serve_backend!r}"
+            )
+        if self.serve_workers < 1:
+            raise ConfigurationError(
+                f"serve_workers must be >= 1, got {self.serve_workers}"
+            )
 
     def with_(self, **changes: Any) -> "ServiceParams":
         """Return a copy with the given fields replaced."""
@@ -178,6 +202,8 @@ class ServiceParams:
             "cache_capacity": self.cache_capacity,
             "max_batch_size": self.max_batch_size,
             "default_top_k": self.default_top_k,
+            "serve_backend": self.serve_backend,
+            "serve_workers": self.serve_workers,
         }
 
     @classmethod

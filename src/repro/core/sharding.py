@@ -42,7 +42,7 @@ from __future__ import annotations
 
 import time
 from functools import partial
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 from scipy import sparse
@@ -57,6 +57,41 @@ from repro.graph.digraph import DiGraph
 from repro.graph.partition import ShardPlan
 
 Triplets = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+T = TypeVar("T")
+
+
+def _timed_task(task: Callable[[], T]) -> Tuple[T, float]:
+    """Run one task and measure its wall-clock (module-level: picklable)."""
+    start = time.perf_counter()
+    return task(), time.perf_counter() - start
+
+
+def run_shard_tasks(
+    backend: ExecutorBackend, tasks: Dict[int, Callable[[], T]]
+) -> Dict[int, Tuple[T, float]]:
+    """Scatter one task per shard through ``backend``; gather with timings.
+
+    This is the one fan-out primitive shared by the offline and online
+    phases: :class:`ShardedIncrementalWalker` runs per-shard row estimation
+    through it at build/update time, and
+    :class:`~repro.service.sharded.ShardedQueryService` runs per-shard walk
+    simulation and top-k ranking through it at query time.  ``tasks`` maps
+    shard id to a zero-argument callable; tasks are submitted in ascending
+    shard order (so a serial backend reproduces the historical sequential
+    loop exactly) and each result is returned as ``(value, seconds)`` —
+    the per-shard wall-clock is what the benchmarks use to account a
+    ``K``-worker deployment's critical path.
+
+    For the ``processes`` backend every task must be picklable: build each
+    from module-level functions via :func:`functools.partial`, as
+    :func:`estimate_shard_rows` and the service's scatter payloads do.
+    """
+    shard_ids = sorted(tasks)
+    outcomes = backend.run(
+        [partial(_timed_task, tasks[shard]) for shard in shard_ids]
+    )
+    return dict(zip(shard_ids, outcomes))
 
 
 def make_plan(graph: DiGraph, sharding: ShardingParams) -> ShardPlan:
@@ -189,16 +224,15 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             return super()._build_rows(graph, sources)
         groups = self.plan.group_nodes(sources)
         self.last_touched_shards = frozenset(groups)
-        shard_ids = sorted(groups)
-        tasks = [
-            partial(_timed_shard_rows, graph, groups[shard], self.params)
-            for shard in shard_ids
-        ]
-        outcomes = self.backend.run(tasks)
-        for shard, (_triplets, seconds) in zip(shard_ids, outcomes):
+        tasks = {
+            shard: partial(estimate_shard_rows, graph, groups[shard], self.params)
+            for shard in groups
+        }
+        outcomes = run_shard_tasks(self.backend, tasks)
+        for shard, (_triplets, seconds) in outcomes.items():
             self.shard_build_seconds[shard] = seconds
         return gather_shard_rows(
-            [triplets for triplets, _seconds in outcomes], graph.n_nodes
+            [outcomes[shard][0] for shard in sorted(outcomes)], graph.n_nodes
         )
 
     def shard_systems(self) -> List[sparse.csr_matrix]:
@@ -227,20 +261,6 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             f"ShardedIncrementalWalker(n_nodes={self.graph.n_nodes}, "
             f"plan={self.plan!r}, backend={self.backend!r})"
         )
-
-
-def _timed_shard_rows(
-    graph: DiGraph, nodes: Sequence[int], params: SimRankParams
-) -> Tuple[Triplets, float]:
-    """Run :func:`estimate_shard_rows` and measure its wall-clock.
-
-    Module-level (picklable) wrapper so per-shard timings survive the
-    ``processes`` backend; the timing is what the sharded-build benchmark
-    uses to account a ``K``-worker deployment's critical path.
-    """
-    start = time.perf_counter()
-    triplets = estimate_shard_rows(graph, nodes, params)
-    return triplets, time.perf_counter() - start
 
 
 def build_sharded_index(

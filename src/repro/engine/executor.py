@@ -14,12 +14,21 @@ backend returns their results in order.  Three backends are provided:
 ``ProcessBackend``
     A ``ProcessPoolExecutor``; requires tasks (and the data they close over)
     to be picklable, so it is opt-in.
+
+Pooled backends hold their workers **across** ``run`` calls, so a service
+that scatters work per query batch pays the pool spin-up once, not per
+batch.  The flip side is an explicit lifecycle: owners must call
+:meth:`ExecutorBackend.close` (or use the backend as a context manager)
+when done — the query services, the CLI and the benchmarks all do.  A
+closed backend is safe to reuse: the next ``run`` transparently recreates
+the pool.
 """
 
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import threading
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
@@ -34,10 +43,28 @@ class ExecutorBackend:
     name = "abstract"
 
     def run(self, tasks: Sequence[Task]) -> List[T]:
+        """Execute ``tasks`` and return their results, input-ordered."""
         raise NotImplementedError
 
     def shutdown(self) -> None:
         """Release any pooled resources (no-op by default)."""
+
+    def close(self) -> None:
+        """Alias of :meth:`shutdown`, matching the context-manager exit.
+
+        Owners of pooled backends (services, CLI loops, benchmarks) call
+        this when they stop scattering work; a closed backend recreates its
+        pool on the next :meth:`run`, so closing is never destructive.
+        """
+        self.shutdown()
+
+    def __enter__(self) -> "ExecutorBackend":
+        """Context-manager entry: the backend itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: release pooled workers."""
+        self.close()
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -49,11 +76,12 @@ class SerialBackend(ExecutorBackend):
     name = "serial"
 
     def run(self, tasks: Sequence[Task]) -> List[T]:
+        """Call each task in order; no pool, no concurrency."""
         return [task() for task in tasks]
 
 
 class ThreadBackend(ExecutorBackend):
-    """Run tasks on a shared thread pool."""
+    """Run tasks on a shared, persistent thread pool."""
 
     name = "threads"
 
@@ -62,25 +90,40 @@ class ThreadBackend(ExecutorBackend):
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
-        return self._pool
+        # Guarded so concurrent first-runs (e.g. two query batches racing
+        # on a freshly opened service) cannot each spin up a pool and leak
+        # one of them.
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.max_workers)
+            return self._pool
 
     def run(self, tasks: Sequence[Task]) -> List[T]:
+        """Submit all tasks to the pool and gather results in order."""
         pool = self._ensure_pool()
         futures = [pool.submit(task) for task in tasks]
         return [future.result() for future in futures]
 
     def shutdown(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Join and discard the pool; the next ``run`` recreates it."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 class ProcessBackend(ExecutorBackend):
-    """Run tasks on a process pool (tasks must be picklable)."""
+    """Run tasks on a persistent process pool (tasks must be picklable).
+
+    The pool is created on first :meth:`run` and kept until
+    :meth:`shutdown` — scattering per query batch through worker processes
+    would otherwise pay a fork per batch.  Owners that forget to close
+    leak workers until process exit, which is why every service exposes
+    ``close()`` and the CLI paths run inside ``try/finally``.
+    """
 
     name = "processes"
 
@@ -88,12 +131,21 @@ class ProcessBackend(ExecutorBackend):
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
         self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool
 
     def run(self, tasks: Sequence[Task]) -> List[T]:
+        """Pickle-check, submit and gather; results keep the input order."""
         # Fail fast on unpicklable tasks: submitting one anyway would only
-        # surface as an opaque PicklingError from a worker future, after the
-        # pool has already been spun up.  The check pickles each task a
-        # second time; that cost is accepted for the early, named diagnostic.
+        # surface as an opaque PicklingError from a worker future.  The
+        # check pickles each task a second time; that cost is accepted for
+        # the early, named diagnostic.
         for position, task in enumerate(tasks):
             try:
                 pickle.dumps(task)
@@ -104,11 +156,24 @@ class ProcessBackend(ExecutorBackend):
                     "use module-level functions instead of closures or "
                     "lambdas, or switch to the 'serial'/'threads' backend"
                 ) from exc
-        # A fresh pool per stage keeps the implementation simple and avoids
-        # leaking workers when callers forget to shut the backend down.
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        pool = self._ensure_pool()
+        try:
             futures = [pool.submit(_call, task) for task in tasks]
             return [future.result() for future in futures]
+        except BrokenExecutor:
+            # A dead worker (OOM kill, signal) permanently breaks a
+            # ProcessPoolExecutor.  Discard it so the *next* run re-forks a
+            # healthy pool instead of re-raising BrokenProcessPool forever;
+            # the caller still sees this batch's failure.
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        """Terminate the worker processes; the next ``run`` re-forks them."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
 
 def _call(task: Task) -> T:

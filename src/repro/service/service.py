@@ -404,6 +404,28 @@ class QueryService:
         return rank_top_k(scores, query.source, query.k)
 
     # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release pooled resources; safe to call more than once.
+
+        The single-shard service owns no pools, so this is a no-op — it
+        exists so callers (the CLI serve loop, benchmarks, tests) can
+        manage every service uniformly: :class:`ShardedQueryService`
+        overrides it to shut down its persistent executor backends.  A
+        closed service remains queryable; pooled backends transparently
+        recreate their workers on the next use.
+        """
+
+    def __enter__(self) -> "QueryService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: release pooled resources via :meth:`close`."""
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # One-off convenience queries (single-element batches)
     # ------------------------------------------------------------------ #
     def single_pair(self, node_i: int, node_j: int,

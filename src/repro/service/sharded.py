@@ -21,6 +21,20 @@ of per-node serving state follows the plan —
   :attr:`~ShardedQueryService.shard_versions` records, per shard, the last
   global version that re-estimated one of its rows.
 
+Per-shard query work is *scattered in parallel*: cache misses are grouped
+by owning shard and simulated as one task per shard, and top-k ranking runs
+one task per shard, all through a persistent executor backend the service
+owns (``ServiceParams.serve_backend`` / ``ServiceParams.serve_workers``;
+the same :func:`repro.core.sharding.run_shard_tasks` primitive the build
+path fans out through).  The service is **thread-safe**: concurrent
+:meth:`~QueryService.run_batch` calls and live updates (immediate or
+deferred) serialise on an internal lock, so every
+:class:`~repro.service.service.BatchAnswers` is computed against exactly
+the index version it reports — never a torn mixture of two generations —
+while the per-shard work inside a batch still runs concurrently on the
+pool.  Call :meth:`ShardedQueryService.close` (or use the service as a
+context manager) to release the pools.
+
 The headline invariant is inherited from the rest of the stack and pinned by
 the test suite: **for any number of shards, any strategy and any backend,
 every answer — pair, source and top-k, before and after live updates — is
@@ -45,6 +59,8 @@ True
 from __future__ import annotations
 
 import os
+import threading
+from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -57,7 +73,11 @@ from repro.core.index import (
     ShardedSnapshotStore,
 )
 from repro.core.queries import QueryEngine, merge_top_k, rank_top_k_within
-from repro.core.sharding import ShardedIncrementalWalker, make_plan
+from repro.core.sharding import (
+    ShardedIncrementalWalker,
+    make_plan,
+    run_shard_tasks,
+)
 from repro.engine.executor import make_backend
 from repro.errors import CloudWalkerError
 from repro.graph.digraph import DiGraph
@@ -69,10 +89,36 @@ from repro.service.batching import (
     chunk_sources,
 )
 from repro.service.cache import CacheKey, WalkDistributionCache
-from repro.service.service import Answer, QueryService
+from repro.service.service import Answer, BatchAnswers, QueryService
 from repro.service.updates import GraphMutator, MutationResult
 
 PathLike = Union[str, os.PathLike]
+
+
+def _simulate_shard_sources(
+    graph: DiGraph,
+    sources: Sequence[int],
+    params: SimRankParams,
+    walkers: int,
+    max_batch_size: int,
+) -> Dict[int, montecarlo.WalkDistributions]:
+    """One shard's scatter payload: simulate its missing sources, chunked.
+
+    Module-level (picklable) so the ``processes`` serve backend can ship
+    it to a worker.  The chunking is exactly the sequential path's
+    (:func:`repro.service.batching.chunk_sources` at the service's
+    ``max_batch_size``) and every source consumes its own ``(seed,
+    source)`` random stream, so running shards concurrently — in any
+    order, on any backend — produces bitwise-identical distributions.
+    """
+    resolved: Dict[int, montecarlo.WalkDistributions] = {}
+    for chunk in chunk_sources(list(sources), max_batch_size):
+        resolved.update(
+            montecarlo.estimate_walk_distributions_batch(
+                graph, chunk, params, walkers=walkers
+            )
+        )
+    return resolved
 
 
 class ShardedQueryService(QueryService):
@@ -100,7 +146,9 @@ class ShardedQueryService(QueryService):
         Cache and batching knobs.  ``cache_capacity`` is **per shard**: a
         ``K``-shard service can hold up to ``K * cache_capacity``
         distributions, mirroring a real deployment where every shard has
-        its own memory budget.
+        its own memory budget.  ``serve_backend`` / ``serve_workers``
+        select the persistent executor pool the query-time scatter runs
+        through (release it with :meth:`close`).
     update_params:
         Live-update knobs, identical to the single-shard service.
     sharding:
@@ -110,7 +158,19 @@ class ShardedQueryService(QueryService):
     plan:
         An explicit node-to-shard assignment, overriding ``sharding``'s
         strategy.
+
+    Attributes
+    ----------
+    last_scatter_seconds:
+        Wall-clock of each shard's most recent cache-miss simulation task,
+        keyed by shard id — the serving-side mirror of
+        :attr:`~repro.core.sharding.ShardedIncrementalWalker.
+        shard_build_seconds`.  Reset on every batch; empty when the batch
+        was fully served from the caches.  The parallel-serve benchmark
+        accounts a ``W``-worker deployment's critical path from these.
     """
+
+    last_scatter_seconds: Dict[int, float]
 
     def __init__(
         self,
@@ -158,6 +218,16 @@ class ShardedQueryService(QueryService):
         ]
         self._shard_nodes_cache: Optional[List[np.ndarray]] = None
         self._shard_nodes_n = -1
+        # One reentrant lock serialises every state transition (batches,
+        # updates, snapshots, stats) so concurrent callers can never
+        # observe a half-applied update; the per-shard work *inside* a
+        # batch still fans out through the serve pool below.
+        self._lock = threading.RLock()
+        self._serve_backend = make_backend(
+            self.service_params.serve_backend,
+            max_workers=self.service_params.serve_workers,
+        )
+        self.last_scatter_seconds: Dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # Cold start
@@ -297,6 +367,49 @@ class ShardedQueryService(QueryService):
         return self._shard_nodes_cache
 
     # ------------------------------------------------------------------ #
+    # Lifecycle and concurrency
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down the service's persistent executor pools.
+
+        Releases the query-time serve pool and, when a mutator exists, the
+        build backend its :class:`~repro.core.sharding.
+        ShardedIncrementalWalker` fans re-estimation out through.  Safe to
+        call repeatedly, and the service stays usable afterwards — pooled
+        backends recreate their workers on the next scatter — so ``close``
+        is about releasing threads/processes, not about ending the
+        service's life.  The CLI serve loop, the benchmarks and the tests
+        call it via ``with service: ...``.
+        """
+        with self._lock:
+            self._serve_backend.close()
+            if self._mutator is not None:
+                backend = getattr(self._mutator.walker, "backend", None)
+                if backend is not None:
+                    backend.close()
+
+    def run_batch(self, queries: Sequence[Query],
+                  walkers: Optional[int] = None) -> BatchAnswers:
+        """Answer a batch (single-shard semantics), thread-safely.
+
+        Identical to :meth:`QueryService.run_batch` except that the whole
+        batch — queued-update drain, cache resolution, scatter, answers —
+        executes under the service lock: concurrent batches and live
+        updates serialise, so the returned
+        :class:`~repro.service.service.BatchAnswers` is always
+        self-consistent with the :attr:`~QueryService.index_version` it
+        carries.  Within the batch, per-shard simulation and ranking run
+        concurrently on the serve pool.
+        """
+        with self._lock:
+            return super().run_batch(queries, walkers=walkers)
+
+    def flush_updates(self) -> Optional[MutationResult]:
+        """Drain queued edge insertions as one re-index, thread-safely."""
+        with self._lock:
+            return super().flush_updates()
+
+    # ------------------------------------------------------------------ #
     # Live updates (shard-routed)
     # ------------------------------------------------------------------ #
     def _ensure_mutator(self) -> GraphMutator:
@@ -323,12 +436,15 @@ class ShardedQueryService(QueryService):
         in-links change); the per-shard routed counts appear in
         :meth:`stats`.  Application, deferral and the bounded queue behave
         exactly like :meth:`QueryService.add_edges`; the re-index itself
-        touches only the shards owning affected rows.
+        touches only the shards owning affected rows (their re-estimation
+        tasks fan out through the walker's executor backend), and the call
+        serialises with in-flight query batches on the service lock.
         """
-        for shard, routed in self.plan.group_edges(
-                (int(u), int(v)) for u, v in edges).items():
-            self._shard_counters[shard]["edges_routed"] += len(routed)
-        return super().add_edges(edges, defer=defer)
+        with self._lock:
+            for shard, routed in self.plan.group_edges(
+                    (int(u), int(v)) for u, v in edges).items():
+                self._shard_counters[shard]["edges_routed"] += len(routed)
+            return super().add_edges(edges, defer=defer)
 
     def _apply_updates(self, edges: Sequence[Tuple[int, int]]) -> Optional[MutationResult]:
         """Drain the queue plus ``edges``; re-index and invalidate per shard."""
@@ -359,29 +475,31 @@ class ShardedQueryService(QueryService):
         the same version twice is a no-op; a directory ahead of this
         service, or created with a different plan, is rejected.
         """
-        directory = directory if directory is not None else self.update_params.snapshot_dir
-        if directory is None:
-            raise CloudWalkerError(
-                "no snapshot directory: pass one or set UpdateParams.snapshot_dir"
-            )
-        store = ShardedSnapshotStore(directory,
-                                     retain=self.update_params.snapshot_retain)
-        latest = store.latest_version()
-        if latest is not None and latest > self._version:
-            raise CloudWalkerError(
-                f"snapshot directory {directory} is at version {latest}, ahead "
-                f"of this service (version {self._version})"
-            )
-        if latest != self._version:
-            shard_systems = None
-            if self._mutator is not None and isinstance(
-                    self._mutator.walker, ShardedIncrementalWalker):
-                if self._mutator.system is not None:
-                    shard_systems = self._mutator.walker.shard_systems()
-            store.save_snapshot(self.sharded_index, shard_systems=shard_systems,
-                                version=self._version)
-            self._counters["snapshots_written"] += 1
-        return self._version, str(store.directory)
+        with self._lock:
+            directory = directory if directory is not None \
+                else self.update_params.snapshot_dir
+            if directory is None:
+                raise CloudWalkerError(
+                    "no snapshot directory: pass one or set UpdateParams.snapshot_dir"
+                )
+            store = ShardedSnapshotStore(directory,
+                                         retain=self.update_params.snapshot_retain)
+            latest = store.latest_version()
+            if latest is not None and latest > self._version:
+                raise CloudWalkerError(
+                    f"snapshot directory {directory} is at version {latest}, ahead "
+                    f"of this service (version {self._version})"
+                )
+            if latest != self._version:
+                shard_systems = None
+                if self._mutator is not None and isinstance(
+                        self._mutator.walker, ShardedIncrementalWalker):
+                    if self._mutator.system is not None:
+                        shard_systems = self._mutator.walker.shard_systems()
+                store.save_snapshot(self.sharded_index, shard_systems=shard_systems,
+                                    version=self._version)
+                self._counters["snapshots_written"] += 1
+            return self._version, str(store.directory)
 
     # ------------------------------------------------------------------ #
     # Query execution (scatter-gather)
@@ -392,10 +510,17 @@ class ShardedQueryService(QueryService):
         """Resolve a batch's sources against their owning shards' caches.
 
         Every source is looked up in — and simulated into — the cache of
-        the shard that owns it; misses are grouped per shard and chunked
-        like the single-shard path.  Because each source's simulation
-        consumes its own ``(seed, source)`` stream, the per-shard grouping
-        cannot change any distribution, only which cache holds it.
+        the shard that owns it; misses are grouped per shard and scattered
+        as **one task per shard** through the persistent serve backend
+        (:func:`repro.core.sharding.run_shard_tasks`), each task chunking
+        its sources exactly like the single-shard path.  Because each
+        source's simulation consumes its own ``(seed, source)`` stream,
+        neither the grouping nor the concurrent execution can change any
+        distribution — only which cache holds it and how long the scatter
+        takes.  Per-shard task wall-clocks land in
+        ``last_scatter_seconds`` (the parallel-serve benchmark's
+        critical-path input); cache inserts and counters are applied in
+        the gathering thread, under the batch's lock.
         """
         walkers_count = walkers if walkers is not None else self.params.query_walkers
         resolved: Dict[int, montecarlo.WalkDistributions] = {}
@@ -409,12 +534,19 @@ class ShardedQueryService(QueryService):
                 resolved[source] = cached
             else:
                 missing_by_shard.setdefault(shard, []).append(source)
-        for shard in sorted(missing_by_shard):
-            for chunk in chunk_sources(missing_by_shard[shard],
-                                       self.service_params.max_batch_size):
-                simulated = montecarlo.estimate_walk_distributions_batch(
-                    self.graph, chunk, self.params, walkers=walkers_count
+        self.last_scatter_seconds = {}
+        if missing_by_shard:
+            tasks = {
+                shard: partial(
+                    _simulate_shard_sources, self.graph, sources, self.params,
+                    walkers_count, self.service_params.max_batch_size,
                 )
+                for shard, sources in missing_by_shard.items()
+            }
+            outcomes = run_shard_tasks(self._serve_backend, tasks)
+            for shard in sorted(outcomes):
+                simulated, seconds = outcomes[shard]
+                self.last_scatter_seconds[shard] = seconds
                 self._counters["sources_simulated"] += len(simulated)
                 self._shard_counters[shard]["sources_simulated"] += len(simulated)
                 for source, distribution in simulated.items():
@@ -430,10 +562,12 @@ class ShardedQueryService(QueryService):
         """Answer one query; top-k is scattered across shards and merged.
 
         The source's owner shard produces the score vector, each shard
-        ranks the candidate nodes it owns
-        (:func:`repro.core.queries.rank_top_k_within`), and the partial
-        rankings are merged exactly
-        (:func:`repro.core.queries.merge_top_k`).  Pair and source queries
+        ranks the candidate nodes it owns — one
+        :func:`repro.core.queries.rank_top_k_within` task per shard on the
+        serve backend — and the partial rankings are merged exactly
+        (:func:`repro.core.queries.merge_top_k`).  The ranking order is a
+        total order of the entries themselves, so concurrent per-shard
+        ranking cannot change the merged list.  Pair and source queries
         are answered by the owner shard alone and delegate to the parent.
         """
         if isinstance(query, TopKQuery):
@@ -441,10 +575,13 @@ class ShardedQueryService(QueryService):
             scores = self.engine.propagate_source(
                 query.source, distributions[query.source]
             )
-            partials = [
-                rank_top_k_within(scores, query.source, owned, query.k)
-                for owned in self._shard_nodes()
-            ]
+            owned_nodes = self._shard_nodes()
+            outcomes = run_shard_tasks(self._serve_backend, {
+                shard: partial(rank_top_k_within, scores, query.source,
+                               owned_nodes[shard], query.k)
+                for shard in range(self.num_shards)
+            })
+            partials = [outcomes[shard][0] for shard in range(self.num_shards)]
             return merge_top_k(partials, min(query.k, len(scores)))
         return super()._answer(query, distributions)
 
@@ -457,8 +594,16 @@ class ShardedQueryService(QueryService):
         The aggregate mirrors :meth:`QueryService.stats` (cache figures
         summed across shards); the ``"shards"`` entry lists, per shard:
         owned nodes, cache size/hit rate/memory, simulated sources, routed
-        edges and the shard's version.
+        edges and the shard's version.  ``serve_backend`` /
+        ``serve_workers`` describe the query-time scatter pool.  The whole
+        snapshot is taken under the service lock, so its figures are
+        mutually consistent even while batches and updates run
+        concurrently.
         """
+        with self._lock:
+            return self._stats_locked()
+
+    def _stats_locked(self) -> Dict[str, Any]:
         hits = sum(cache.stats.hits for cache in self.shard_caches)
         lookups = sum(cache.stats.lookups for cache in self.shard_caches)
         shard_rows = []
@@ -480,6 +625,8 @@ class ShardedQueryService(QueryService):
             "pending_updates": self.pending_updates,
             "num_shards": self.num_shards,
             "shard_strategy": self.plan.strategy,
+            "serve_backend": self.service_params.serve_backend,
+            "serve_workers": self.service_params.serve_workers,
             "cache_size": sum(len(cache) for cache in self.shard_caches),
             "cache_capacity": self.service_params.cache_capacity * self.num_shards,
             "cache_memory_bytes": sum(

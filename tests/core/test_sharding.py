@@ -373,3 +373,126 @@ class TestShardedIndexDataclass:
         other = generators.copying_model_graph(40, out_degree=3, seed=1)
         with pytest.raises(CloudWalkerError):
             sharded.validate_for(other)
+
+
+class TestShardedSnapshotFaultInjection:
+    """Crash and corruption drills for :class:`ShardedSnapshotStore`.
+
+    Unlike the debris simulations above (which place partial files by
+    hand), these kill the save *machinery itself* mid-flight — a
+    monkeypatched shard store that fails on write — and corrupt the
+    persisted plan, then assert the recovery contract: the consistent
+    version is the intersection, partial writes are replaced (never
+    adopted), and a corrupted ``shard_plan.json`` fails loudly on every
+    surface instead of being silently rewritten.
+    """
+
+    def _sharded(self, graph, params, num_shards=3):
+        walker = ShardedIncrementalWalker(graph, ShardPlan.hashed(num_shards),
+                                          params=params)
+        index = walker.build()
+        return walker, ShardedIndex(index=index, plan=walker.plan)
+
+    def test_save_killed_between_shard_writes_rolls_back_then_replaces(
+            self, graph, params, tmp_path, monkeypatch):
+        from repro.core.index import SnapshotStore
+
+        walker, sharded = self._sharded(graph, params)
+        store = ShardedSnapshotStore(tmp_path / "snaps")
+        store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+
+        original = SnapshotStore.save_snapshot
+        injected = {"armed": True}
+
+        def dying_save(self, *args, **kwargs):
+            if injected["armed"] and self.directory.name == "shard-01":
+                raise OSError("injected: disk full between shard writes")
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SnapshotStore, "save_snapshot", dying_save)
+        with pytest.raises(OSError, match="between shard writes"):
+            store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+
+        # Shard 0 wrote v2, shard 1 died, shard 2 never ran: the
+        # intersection hides the partial version from every reader.
+        assert store.shard_store(0).versions() == [1, 2]
+        assert store.shard_store(1).versions() == [1]
+        assert store.versions() == [1]
+        assert store.latest_version() == 1
+        version, loaded, system = store.load()
+        assert version == 1
+        assert np.array_equal(loaded.index.diagonal, sharded.index.diagonal)
+        assert (system - walker.system).nnz == 0
+
+        # Poison the orphaned partial so adoption (vs replacement) would be
+        # observable, then retry the save with the fault disarmed.
+        injected["armed"] = False
+        partial_path = store.shard_store(0).index_path(2)
+        partial_path.write_bytes(b"injected: torn partial write")
+        version = store.save_snapshot(sharded,
+                                      shard_systems=walker.shard_systems())
+        assert version == 2
+        assert store.versions() == [1, 2]
+        version, reloaded, system = store.load()
+        assert version == 2
+        assert np.array_equal(reloaded.index.diagonal, sharded.index.diagonal)
+        assert (system - walker.system).nnz == 0
+
+    def test_service_save_crash_leaves_service_retryable(
+            self, graph, params, tmp_path, monkeypatch):
+        from repro.core.index import SnapshotStore
+        from repro.service import ShardedQueryService
+
+        service = ShardedQueryService.build(
+            graph, params, sharding=ShardingParams(num_shards=2),
+        )
+        try:
+            original = SnapshotStore.save_snapshot
+            injected = {"armed": True}
+
+            def dying_save(self, *args, **kwargs):
+                if injected["armed"] and self.directory.name == "shard-01":
+                    raise OSError("injected: shard crash")
+                return original(self, *args, **kwargs)
+
+            monkeypatch.setattr(SnapshotStore, "save_snapshot", dying_save)
+            with pytest.raises(OSError):
+                service.save_snapshot(tmp_path / "snaps")
+            assert service.stats()["snapshots_written"] == 0
+            injected["armed"] = False
+            version, _path = service.save_snapshot(tmp_path / "snaps")
+            assert version == service.index_version
+            assert service.stats()["snapshots_written"] == 1
+            assert ShardedSnapshotStore(tmp_path / "snaps").latest_version() \
+                == version
+        finally:
+            service.close()
+
+    @pytest.mark.parametrize("corruption", [
+        b"{not json at all",
+        b"{}",
+        b'{"strategy": "hash"}',
+    ])
+    def test_corrupted_plan_fails_loudly_everywhere(
+            self, graph, params, tmp_path, corruption):
+        walker, sharded = self._sharded(graph, params)
+        directory = tmp_path / "snaps"
+        store = ShardedSnapshotStore(directory)
+        store.save_snapshot(sharded, shard_systems=walker.shard_systems())
+        (directory / ShardedSnapshotStore.PLAN_FILE).write_bytes(corruption)
+
+        # Still *detected* as a sharded lineage — corruption must not make
+        # it silently fall back to the single-shard code path.
+        assert ShardedSnapshotStore.is_sharded(directory)
+        fresh = ShardedSnapshotStore(directory)
+        with pytest.raises(CloudWalkerError, match="shard plan"):
+            fresh.load_plan()
+        with pytest.raises(CloudWalkerError, match="shard plan"):
+            fresh.versions()
+        with pytest.raises(CloudWalkerError, match="shard plan"):
+            fresh.load()
+        # A save must refuse too: overwriting a plan it cannot read could
+        # silently re-route every node of an existing lineage.
+        with pytest.raises(CloudWalkerError, match="shard plan"):
+            fresh.save_snapshot(sharded,
+                                shard_systems=walker.shard_systems())

@@ -158,8 +158,8 @@ class TestBackends:
     def test_process_backend_runs_picklable_tasks(self):
         from functools import partial
 
-        backend = ProcessBackend(max_workers=2)
-        results = backend.run([partial(_square, value) for value in range(4)])
+        with ProcessBackend(max_workers=2) as backend:
+            results = backend.run([partial(_square, value) for value in range(4)])
         assert results == [0, 1, 4, 9]
 
     def test_executor_repr(self):

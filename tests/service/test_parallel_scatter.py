@@ -1,0 +1,125 @@
+"""Seeded randomized parallel-scatter identity tests.
+
+The tentpole contract of the parallel serving path: for random graphs, any
+shard count K in {1, 2, 5}, any serve backend in {serial, threads,
+processes} and any worker count in {1, 4}, every answer of the sharded
+service — pair, source and top-k (including the score-descending /
+node-id-ascending tie order of ``merge_top_k``) — is bitwise-identical to
+the single-shard :class:`~repro.service.QueryService`, before *and* after
+random edge batches.
+
+These are deterministic seeded-random sweeps (``numpy.random.default_rng``
+with fixed seeds) rather than hypothesis properties, so the expensive
+``processes`` configurations run a bounded, reproducible number of trials.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceParams, ShardingParams, SimRankParams
+from repro.graph.digraph import DiGraph
+from repro.service import (
+    PairQuery,
+    QueryService,
+    ShardedQueryService,
+    SourceQuery,
+    TopKQuery,
+)
+
+#: backends x workers grid from the issue; processes runs fewer trials.
+BACKEND_GRID = [
+    ("serial", 1), ("serial", 4),
+    ("threads", 1), ("threads", 4),
+    ("processes", 1), ("processes", 4),
+]
+SHARD_COUNTS = (1, 2, 5)
+K_VALUES = (1, 2, 5)
+
+
+def _random_graph(rng):
+    n_nodes = int(rng.integers(6, 18))
+    n_edges = int(rng.integers(0, 4 * n_nodes))
+    edges = [(int(u), int(v))
+             for u, v in rng.integers(0, n_nodes, size=(n_edges, 2))]
+    return DiGraph(n_nodes, edges)
+
+
+def _random_params(rng):
+    return SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=2,
+                         index_walkers=12, query_walkers=30,
+                         seed=int(rng.integers(10_000)))
+
+
+def _random_queries(rng, n_nodes):
+    queries = []
+    for _ in range(2):
+        queries.append(PairQuery(int(rng.integers(n_nodes)),
+                                 int(rng.integers(n_nodes))))
+        queries.append(SourceQuery(int(rng.integers(n_nodes))))
+    for k in K_VALUES:
+        queries.append(TopKQuery(int(rng.integers(n_nodes)), k=k))
+    return queries
+
+
+def _random_edges(rng, n_nodes):
+    # Endpoints up to n_nodes: may duplicate existing edges (a no-op) or
+    # grow the graph by one node — both paths must stay identical.
+    count = int(rng.integers(1, 4))
+    return [(int(rng.integers(n_nodes + 1)), int(rng.integers(n_nodes + 1)))
+            for _ in range(count)]
+
+
+def _assert_equal(reference, answers):
+    assert answers.index_version == reference.index_version
+    for left, right in zip(reference, answers):
+        if isinstance(left, float):
+            assert left == right
+        elif isinstance(left, list):
+            assert left == right
+        else:
+            assert np.array_equal(left, right)
+
+
+def _assert_canonical_order(answers):
+    """Every top-k list obeys the score-desc / node-id-asc total order."""
+    for answer in answers:
+        if not isinstance(answer, list):
+            continue
+        keys = [(-score, node) for node, score in answer]
+        assert keys == sorted(keys), f"tie order violated: {answer}"
+
+
+@pytest.mark.parametrize("backend,workers", BACKEND_GRID)
+def test_parallel_scatter_bitwise_identical_to_single_shard(backend, workers):
+    trials = 1 if backend == "processes" else 3
+    rng = np.random.default_rng(20_150_731 + 13 * workers)
+    for _trial in range(trials):
+        graph = _random_graph(rng)
+        params = _random_params(rng)
+        queries = _random_queries(rng, graph.n_nodes)
+        edges = _random_edges(rng, graph.n_nodes)
+        for num_shards in SHARD_COUNTS:
+            single = QueryService.build(graph, params)
+            with ShardedQueryService.build(
+                graph, params,
+                service_params=ServiceParams(
+                    max_batch_size=3, serve_backend=backend,
+                    serve_workers=workers,
+                ),
+                sharding=ShardingParams(num_shards=num_shards),
+            ) as sharded:
+                reference = single.run_batch(queries)
+                answers = sharded.run_batch(queries)
+                _assert_equal(reference, answers)
+                _assert_canonical_order(answers)
+                # Second pass serves from the per-shard caches.
+                _assert_equal(single.run_batch(queries),
+                              sharded.run_batch(queries))
+
+                single_result = single.add_edges(edges)
+                sharded_result = sharded.add_edges(edges)
+                assert (single_result is None) == (sharded_result is None)
+                after_reference = single.run_batch(queries)
+                after = sharded.run_batch(queries)
+                _assert_equal(after_reference, after)
+                _assert_canonical_order(after)

@@ -267,6 +267,60 @@ class TestShardedPersistence:
         assert result is not None and sharded.index_version == 2
 
 
+class TestLifecycle:
+    def test_close_releases_serve_pool_and_service_revives(self, make_service,
+                                                           make_sharded):
+        sharded = make_sharded(serve_backend="threads", serve_workers=2)
+        single = make_service()
+        assert_answers_equal(single.run_batch(QUERIES), sharded.run_batch(QUERIES))
+        assert sharded._serve_backend._pool is not None
+        sharded.close()
+        assert sharded._serve_backend._pool is None
+        sharded.close()  # idempotent
+        # A closed service still serves (the pool revives transparently).
+        assert_answers_equal(single.run_batch(QUERIES), sharded.run_batch(QUERIES))
+        sharded.close()
+
+    def test_context_manager_closes_pool(self, make_sharded):
+        with make_sharded(serve_backend="threads") as sharded:
+            sharded.run_batch(QUERIES)
+            assert sharded._serve_backend._pool is not None
+        assert sharded._serve_backend._pool is None
+
+    def test_close_shuts_down_walker_backend(self, service_graph, service_params):
+        sharded = ShardedQueryService.build(
+            service_graph, service_params,
+            sharding=ShardingParams(num_shards=2, backend="threads"),
+        )
+        walker_backend = sharded._mutator.walker.backend
+        assert walker_backend._pool is not None  # the build fanned out
+        sharded.close()
+        assert walker_backend._pool is None
+
+    def test_single_shard_close_is_noop_context_manager(self, make_service):
+        with make_service() as single:
+            single.run_batch(QUERIES)
+        single.close()
+        assert single.run_batch(QUERIES)  # still serving
+
+    def test_stats_report_serve_backend(self, make_sharded):
+        with make_sharded(serve_backend="threads", serve_workers=3) as sharded:
+            stats = sharded.stats()
+            assert stats["serve_backend"] == "threads"
+            assert stats["serve_workers"] == 3
+
+    def test_scatter_timings_cover_touched_shards(self, make_sharded):
+        with make_sharded(num_shards=3) as sharded:
+            sharded.run_batch(QUERIES)
+            touched = set(sharded.last_scatter_seconds)
+            assert touched  # something was simulated
+            assert all(seconds >= 0.0
+                       for seconds in sharded.last_scatter_seconds.values())
+            # Fully cached re-run scatters nothing.
+            sharded.run_batch(QUERIES)
+            assert sharded.last_scatter_seconds == {}
+
+
 class TestConstruction:
     def test_sharded_index_input_adopts_plan(self, service_graph, service_index,
                                              service_params):

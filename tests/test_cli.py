@@ -410,6 +410,67 @@ class TestShardedCli:
         assert code == 1
         assert "local" in output
 
+    def test_query_batch_parallel_scatter_matches_single_shard(self, indexed,
+                                                               tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text("pair 3 9\ntopk 3 5\nsource 7\n")
+        _code, reference = run_cli(
+            "query-batch", "--graph", str(graph_file),
+            "--index", str(index_path), "--queries", str(queries),
+        )
+        answer_lines = reference.splitlines()[:3]
+        for backend, workers in (("serial", "1"), ("threads", "4"),
+                                 ("processes", "2")):
+            code, output = run_cli(
+                "query-batch", "--graph", str(graph_file),
+                "--index", str(index_path), "--queries", str(queries),
+                "--shards", "3", "--serve-backend", backend,
+                "--serve-workers", workers,
+            )
+            assert code == 0
+            assert output.splitlines()[:3] == answer_lines
+
+    def test_invalid_serve_workers_fails_loudly(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        queries = tmp_path / "queries.txt"
+        queries.write_text("pair 3 9\n")
+        code, output = run_cli(
+            "query-batch", "--graph", str(graph_file),
+            "--index", str(index_path), "--queries", str(queries),
+            "--serve-workers", "0",
+        )
+        assert code == 1
+        assert "serve_workers must be >= 1" in output
+
+    def test_snapshot_subcommand_understands_sharded_lineage(self, indexed,
+                                                             tmp_path):
+        graph_file, index_path = indexed
+        edges = tmp_path / "edges.tsv"
+        edges.write_text("0 40\n")
+        snaps = tmp_path / "snaps"
+        code, output = run_cli(
+            "update", "--graph", str(graph_file), "--index", str(index_path),
+            "--edges", str(edges), "--shards", "2",
+            "--snapshot-dir", str(snaps),
+        )
+        assert code == 0 and "snapshot v2 written" in output
+        # list: consistent sharded versions, not 'no snapshots'.
+        code, output = run_cli("snapshot", "list", "--dir", str(snaps))
+        assert code == 0
+        assert "2-shard" in output and "2/2" in output
+        assert "no snapshots" not in output
+        # save: refused — it would strand the shards without system blocks.
+        code, output = run_cli("snapshot", "save", "--dir", str(snaps),
+                               "--index", str(index_path))
+        assert code == 2
+        assert "sharded lineage" in output
+        # prune: bounds every shard store, reports kept versions.
+        code, output = run_cli("snapshot", "prune", "--dir", str(snaps),
+                               "--retain", "1")
+        assert code == 0
+        assert "kept [2]" in output
+
     def test_serve_loop_sharded(self, indexed, monkeypatch):
         import io as io_module
         import sys

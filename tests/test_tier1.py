@@ -1,0 +1,50 @@
+"""The tier-1 entry point composes its pytest command correctly.
+
+The script itself runs the whole suite, so these tests only exercise its
+*argument construction* — in particular that the coverage gate is applied
+exactly when ``pytest-cov`` is importable, covers the serving/core layers,
+and carries a hard floor.  (Re-entrantly running the suite from inside the
+suite would be a fork bomb.)
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPTS_DIR = Path(__file__).resolve().parents[1] / "scripts"
+
+
+def _load_tier1():
+    spec = importlib.util.spec_from_file_location("tier1", SCRIPTS_DIR / "tier1.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_coverage_gate_applied_when_plugin_available():
+    tier1 = _load_tier1()
+    args = tier1.coverage_args(available=True)
+    for target in ("repro.service", "repro.core"):
+        assert f"--cov={target}" in args
+    assert f"--cov-fail-under={tier1.COVERAGE_FLOOR}" in args
+    assert tier1.COVERAGE_FLOOR >= 80, "the floor must stay a real gate"
+
+
+def test_coverage_gate_skipped_when_plugin_missing():
+    tier1 = _load_tier1()
+    assert tier1.coverage_args(available=False) == []
+
+
+def test_command_is_the_roadmap_tier1_invocation():
+    tier1 = _load_tier1()
+    command = tier1.build_command(["-k", "sharded"])
+    assert command[:5] == [sys.executable, "-m", "pytest", "-x", "-q"]
+    assert command[-2:] == ["-k", "sharded"]
+
+
+def test_detection_matches_environment():
+    tier1 = _load_tier1()
+    expected = importlib.util.find_spec("pytest_cov") is not None
+    assert tier1.coverage_available() == expected
+    # Auto-detection drives the default argument construction.
+    assert bool(tier1.coverage_args()) == expected
