@@ -176,8 +176,12 @@ def test_incremental_service(benchmark, results_dir):
 
 
 if __name__ == "__main__":
+    from repro.bench import reporting
+
     outcome = incremental_service_experiment()
-    print(_check_and_render(outcome))
+    rendered = _check_and_render(outcome)
+    reporting.save_results("incremental_service", outcome, rendered)
+    print(rendered)
     print(f"speedup: {outcome['speedup']:.1f}x "
           f"({outcome['affected_rows']} affected rows, "
           f"{outcome['affected_fraction']:.1%} of the graph)")

@@ -260,7 +260,11 @@ def test_parallel_serve(benchmark, results_dir):
 
 
 if __name__ == "__main__":
+    from repro.bench import reporting
+
     outcome = parallel_serve_experiment()
-    print(_check_and_render(outcome))
+    rendered = _check_and_render(outcome)
+    reporting.save_results("parallel_serve", outcome, rendered)
+    print(rendered)
     print(f"critical-path speedup at 4 workers: {outcome['speedup_at_4']:.1f}x, "
           f"answers bitwise-identical: {outcome['all_identical']}")

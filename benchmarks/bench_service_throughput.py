@@ -145,8 +145,12 @@ def test_service_throughput(benchmark, results_dir):
 
 
 if __name__ == "__main__":
+    from repro.bench import reporting
+
     outcome = service_throughput_experiment()
-    print(_check_and_render(outcome))
+    rendered = _check_and_render(outcome)
+    reporting.save_results("service_throughput", outcome, rendered)
+    print(rendered)
     print(f"speedup: {outcome['speedup']:.1f}x, "
           f"cache hit rate {outcome['cache_hit_rate']:.2%}, "
           f"{outcome['sources_simulated']} simulations for "

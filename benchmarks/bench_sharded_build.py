@@ -148,7 +148,11 @@ def test_sharded_build(benchmark, results_dir):
 
 
 if __name__ == "__main__":
+    from repro.bench import reporting
+
     outcome = sharded_build_experiment()
-    print(_check_and_render(outcome))
+    rendered = _check_and_render(outcome)
+    reporting.save_results("sharded_build", outcome, rendered)
+    print(rendered)
     print(f"critical-path speedup at K=4: {outcome['speedup_at_4']:.1f}x, "
           f"answers bitwise-identical: {outcome['all_identical']}")

@@ -1,0 +1,280 @@
+"""Zero-copy serving — resident worker graphs vs ship-the-graph scatter.
+
+Before this optimisation, every process-backend query batch re-pickled the
+entire ``DiGraph`` into each per-shard scatter task: per batch, the graph
+crossed the parent/worker boundary once per touched shard, making the
+serving hot path O(graph) per batch regardless of how few sources it
+carried.  With **worker graph residency** the service registers the graph
+on the serve pool once per epoch (``ExecutorBackend.ensure_resident``);
+workers materialise it once from a shared-memory CSR export and every
+scatter task ships only a handle plus its source ids — O(sources) bytes.
+
+Two quantities are measured on the same pair-heavy batch shape as
+``bench_parallel_serve.py``, against a real ``processes`` serve pool:
+
+``payload_reduction``
+    Per-batch pickled scatter bytes, ship-the-graph / resident, from the
+    process backend's own payload accounting (a by-product of its
+    fail-fast pickle check).  Deterministic — no timers involved.
+``throughput_speedup``
+    Measured steady-state batch wall-clock, ship-the-graph / resident
+    (pool already forked; best of the measured batches per mode).
+
+Gate: ``payload_reduction >= 5`` **or** ``throughput_speedup >= 2`` — and,
+unconditionally, every answer (resident or not, process pool or not) must
+be bitwise-identical to the sequential sharded scatter *and* to the
+single-shard ``QueryService``, before and after live edge insertions (the
+update check runs on ``build`` services so each side owns an update-ready
+linear system without paying a benchmark-dominating attach).
+
+Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_zero_copy_serve.py
+"""
+
+import time
+
+import numpy as np
+
+GRAPH_NODES = 2_500
+OUT_DEGREE = 6
+WALK_STEPS = 6
+INDEX_WALKERS = 40
+QUERY_WALKERS = 800
+NUM_SHARDS = 4
+SERVE_WORKERS = 2
+N_SOURCES = 160
+N_TOPK = 6
+TOP_K = 10
+N_BATCHES = 3
+MIN_PAYLOAD_REDUCTION = 5.0
+MIN_THROUGHPUT_SPEEDUP = 2.0
+SEED = 47
+
+UPDATE_GRAPH_NODES = 300
+UPDATE_EDGES = ((0, 150), (3, 300), (300, 7))
+
+
+def _params():
+    from repro.config import SimRankParams
+
+    return SimRankParams(
+        c=0.6, walk_steps=WALK_STEPS, jacobi_iterations=3,
+        index_walkers=INDEX_WALKERS, query_walkers=QUERY_WALKERS, seed=SEED,
+    )
+
+
+def _queries(n_nodes):
+    """The scatter-dominated batch shape of ``bench_parallel_serve``."""
+    from repro.service import PairQuery, TopKQuery
+
+    sources = list(range(min(N_SOURCES, n_nodes)))
+    queries = [PairQuery(a, b) for a, b in zip(sources[0::2], sources[1::2])]
+    queries.extend(TopKQuery(source, k=TOP_K) for source in sources[:N_TOPK])
+    return queries
+
+
+def _answers_equal(left, right):
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, (float, list)):
+            if a != b:
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True
+
+
+def _process_service(graph, index, resident):
+    from repro.config import ServiceParams, ShardingParams
+    from repro.service import ShardedQueryService
+
+    return ShardedQueryService(
+        graph, index, _params(),
+        ServiceParams(cache_capacity=0, serve_backend="processes",
+                      serve_workers=SERVE_WORKERS, resident_graph=resident),
+        sharding=ShardingParams(num_shards=NUM_SHARDS),
+    )
+
+
+def _measure_mode(graph, index, queries, resident):
+    """Steady-state batch seconds + per-batch scatter bytes for one mode."""
+    with _process_service(graph, index, resident) as service:
+        # Warm-up batch: forks the pool, registers residency, touches every
+        # code path once; excluded from the measurement.
+        answers = service.run_batch(queries)
+        seconds = []
+        payload = []
+        for _ in range(N_BATCHES):
+            before = service._serve_backend.total_payload_bytes
+            start = time.perf_counter()
+            batch_answers = service.run_batch(queries)
+            seconds.append(time.perf_counter() - start)
+            payload.append(service._serve_backend.total_payload_bytes - before)
+            if not _answers_equal(answers, batch_answers):
+                raise AssertionError("answers drifted across batches")
+    return answers, min(seconds), max(payload)
+
+
+def _update_identity_check():
+    """Bitwise identity before/after live updates, resident process pool."""
+    from repro.config import ServiceParams, ShardingParams, SimRankParams
+    from repro.graph import generators
+    from repro.service import QueryService, ShardedQueryService
+
+    params = SimRankParams(
+        c=0.6, walk_steps=min(WALK_STEPS, 5), jacobi_iterations=3,
+        index_walkers=min(INDEX_WALKERS, 30),
+        query_walkers=min(QUERY_WALKERS, 200), seed=SEED,
+    )
+    graph = generators.copying_model_graph(
+        UPDATE_GRAPH_NODES, out_degree=OUT_DEGREE, seed=SEED,
+        name="zero-copy-updates",
+    )
+    queries = _queries(graph.n_nodes)[:24]
+    edges = [(u, min(v, graph.n_nodes)) for u, v in UPDATE_EDGES]
+
+    single = QueryService.build(graph, params)
+    before_reference = single.run_batch(queries)
+    single.add_edges(edges)
+    after_reference = single.run_batch(queries)
+
+    identical = True
+    for resident in (True, False):
+        with ShardedQueryService.build(
+            graph, params,
+            service_params=ServiceParams(cache_capacity=0,
+                                         serve_backend="processes",
+                                         serve_workers=SERVE_WORKERS,
+                                         resident_graph=resident),
+            sharding=ShardingParams(num_shards=min(NUM_SHARDS, 4),
+                                    resident_graph=resident),
+        ) as sharded:
+            identical &= _answers_equal(before_reference,
+                                        sharded.run_batch(queries))
+            # The update swaps the graph: residency must re-register (new
+            # epoch) and keep answering bitwise-identically.
+            sharded.add_edges(edges)
+            identical &= _answers_equal(after_reference,
+                                        sharded.run_batch(queries))
+    return identical
+
+
+def zero_copy_serve_experiment():
+    from repro.config import ServiceParams, ShardingParams
+    from repro.core.diagonal import build_diagonal_index
+    from repro.graph import generators
+    from repro.service import QueryService, ShardedQueryService
+
+    params = _params()
+    graph = generators.copying_model_graph(
+        GRAPH_NODES, out_degree=OUT_DEGREE, seed=SEED, name="zero-copy-serve"
+    )
+    index = build_diagonal_index(graph, params)
+    queries = _queries(graph.n_nodes)
+
+    single = QueryService(graph, index, params)
+    reference = single.run_batch(queries)
+
+    # Sequential sharded scatter (serial backend): the second identity
+    # anchor, exactly as in bench_parallel_serve.
+    with ShardedQueryService(
+        graph, index, params,
+        ServiceParams(cache_capacity=0),
+        sharding=ShardingParams(num_shards=NUM_SHARDS),
+    ) as sequential:
+        sequential_answers = sequential.run_batch(queries)
+
+    resident_answers, resident_seconds, resident_bytes = _measure_mode(
+        graph, index, queries, resident=True)
+    shipped_answers, shipped_seconds, shipped_bytes = _measure_mode(
+        graph, index, queries, resident=False)
+
+    payload_reduction = shipped_bytes / max(resident_bytes, 1)
+    throughput_speedup = shipped_seconds / max(resident_seconds, 1e-9)
+    all_identical = (
+        _answers_equal(reference, sequential_answers)
+        and _answers_equal(reference, resident_answers)
+        and _answers_equal(reference, shipped_answers)
+        and _update_identity_check()
+    )
+    rows = [
+        {
+            "mode": "ship-graph",
+            "batch_seconds": round(shipped_seconds, 4),
+            "scatter_bytes_per_batch": shipped_bytes,
+            "payload_reduction": 1.0,
+            "bitwise_identical": _answers_equal(reference, shipped_answers),
+        },
+        {
+            "mode": "resident",
+            "batch_seconds": round(resident_seconds, 4),
+            "scatter_bytes_per_batch": resident_bytes,
+            "payload_reduction": round(payload_reduction, 1),
+            "bitwise_identical": _answers_equal(reference, resident_answers),
+        },
+    ]
+    return {
+        "rows": rows,
+        "payload_reduction": payload_reduction,
+        "throughput_speedup": throughput_speedup,
+        "gate_passed": bool(
+            payload_reduction >= MIN_PAYLOAD_REDUCTION
+            or throughput_speedup >= MIN_THROUGHPUT_SPEEDUP
+        ),
+        "all_identical": all_identical,
+        "graph_nodes": graph.n_nodes,
+        "graph_edges": graph.n_edges,
+        "graph_memory_bytes": graph.memory_bytes(),
+        "num_shards": NUM_SHARDS,
+        "serve_workers": SERVE_WORKERS,
+        "n_queries": len(queries),
+        "query_walkers": QUERY_WALKERS,
+    }
+
+
+def _check_and_render(result) -> str:
+    from repro.bench import reporting
+
+    rendered = reporting.format_table(
+        result["rows"],
+        title=(f"Zero-copy serving of {result['n_queries']} queries on a "
+               f"{result['graph_nodes']}-node graph "
+               f"({result['num_shards']} shards, processes backend, "
+               f"{result['serve_workers']} workers; graph CSR = "
+               f"{result['graph_memory_bytes'] / 1024:.0f} KiB)"),
+    )
+    assert result["all_identical"], (
+        "a resident/shipped scatter diverged bitwise from the sequential/"
+        "single-shard answers (before or after live updates)"
+    )
+    assert result["gate_passed"], (
+        f"zero-copy gate failed: payload reduction "
+        f"{result['payload_reduction']:.1f}x (needs >= "
+        f"{MIN_PAYLOAD_REDUCTION}x) and throughput speedup "
+        f"{result['throughput_speedup']:.2f}x (needs >= "
+        f"{MIN_THROUGHPUT_SPEEDUP}x)"
+    )
+    return rendered
+
+
+def test_zero_copy_serve(benchmark, results_dir):
+    from repro.bench import reporting
+
+    result = benchmark.pedantic(zero_copy_serve_experiment, rounds=1, iterations=1)
+    rendered = _check_and_render(result)
+    reporting.save_results("zero_copy_serve", result, rendered, results_dir)
+    print("\n" + rendered)
+
+
+if __name__ == "__main__":
+    from repro.bench import reporting
+
+    outcome = zero_copy_serve_experiment()
+    rendered = _check_and_render(outcome)
+    reporting.save_results("zero_copy_serve", outcome, rendered)
+    print(rendered)
+    print(f"scatter payload reduction: {outcome['payload_reduction']:.1f}x, "
+          f"throughput speedup: {outcome['throughput_speedup']:.2f}x, "
+          f"answers bitwise-identical: {outcome['all_identical']}")

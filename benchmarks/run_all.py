@@ -7,6 +7,12 @@ its own interpreter, so a crash cannot take down the suite), reports
 pass/fail plus wall-clock per benchmark, and exits non-zero if any failed —
 the shape a CI job wants.
 
+After a run, the *serving-layer* benchmarks' persisted results (each
+standalone entry point writes ``benchmark_results/<name>.json``) are
+consolidated into a top-level ``BENCH_serving.json`` — one row per
+benchmark with its headline speedup, gate threshold and pass/fail — so
+the serving perf trajectory is a single diffable file across PRs.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py            # everything
@@ -17,6 +23,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import subprocess
 import sys
@@ -24,7 +31,30 @@ import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
-SRC_DIR = BENCH_DIR.parent / "src"
+REPO_ROOT = BENCH_DIR.parent
+SRC_DIR = REPO_ROOT / "src"
+RESULTS_DIR = REPO_ROOT / "benchmark_results"
+SERVING_SUMMARY_PATH = REPO_ROOT / "BENCH_serving.json"
+
+#: The serving-layer benchmarks consolidated into BENCH_serving.json:
+#: result-file stem -> (headline speedup key, gate threshold, identity key,
+#: identity-pass predicate).  The identity key proves answers stayed
+#: bitwise-equal; the speedup key is the *headline* number reported per
+#: benchmark.  When a result file carries its own ``gate_passed`` field
+#: (bench_zero_copy_serve does: its gate is payload OR throughput, not a
+#: single threshold), that verdict wins over the threshold here — the
+#: benchmark is the authority on its gate, this table only mirrors it.
+SERVING_GATES = {
+    "service_throughput": ("speedup", 3.0, "mismatches", lambda v: v == 0),
+    "incremental_service": ("speedup", 5.0, "mismatches", lambda v: v == 0),
+    "sharded_build": ("speedup_at_4", 2.0, "all_identical", bool),
+    "parallel_serve": ("speedup_at_4", 2.0, "all_identical", bool),
+    "zero_copy_serve": ("payload_reduction", 5.0, "all_identical", bool),
+}
+
+#: Benchmark script name -> result-file stem, for tying a consolidation to
+#: the scripts that actually ran (and whether they passed) in this run.
+SERVING_SCRIPTS = {f"bench_{stem}.py": stem for stem in SERVING_GATES}
 
 
 def discover(only: str = "") -> list:
@@ -48,6 +78,67 @@ def run_one(path: Path) -> tuple:
     return completed.returncode == 0, elapsed, output
 
 
+def consolidate_serving(results_dir: Path = RESULTS_DIR,
+                        output_path: Path = SERVING_SUMMARY_PATH,
+                        run_status: "dict | None" = None) -> dict:
+    """Gather the serving benchmarks' persisted results into one summary.
+
+    Reads each ``<results_dir>/<name>.json`` named in :data:`SERVING_GATES`
+    (missing files are reported as ``"missing"`` rather than skipped — a
+    benchmark that stopped persisting is itself a regression) and writes
+    the per-benchmark speedup + gate status to ``output_path``.  Returns
+    the summary dict.
+
+    The gate verdict per benchmark is, in order of authority: the result
+    file's own ``gate_passed`` field when present (a benchmark may gate on
+    more than one metric), else ``speedup >= threshold``; both are still
+    conjoined with the identity check.  ``run_status`` maps result-file
+    stems to this run's subprocess success: a benchmark that *failed this
+    run* is reported as ``"failed"`` with ``gate_passed: false`` even if a
+    previous run left a passing JSON on disk — a benchmark only persists
+    results after its asserts pass, so the on-disk file would otherwise be
+    a stale pass masking the regression.
+    """
+    run_status = run_status or {}
+    benchmarks = {}
+    for name, (speedup_key, threshold, identity_key, identity_ok) \
+            in sorted(SERVING_GATES.items()):
+        path = results_dir / f"{name}.json"
+        if run_status.get(name) is False:
+            benchmarks[name] = {"status": "failed",
+                                "gate_passed": False,
+                                "stale_file": str(path) if path.exists()
+                                else None}
+            continue
+        if not path.exists():
+            benchmarks[name] = {"status": "missing",
+                                "expected_file": str(path)}
+            continue
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        speedup = payload.get(speedup_key)
+        identity = payload.get(identity_key)
+        own_gate = payload.get("gate_passed")
+        speed_ok = (bool(own_gate) if own_gate is not None
+                    else speedup is not None and speedup >= threshold)
+        benchmarks[name] = {
+            "status": "ok",
+            "speedup_key": speedup_key,
+            "speedup": round(float(speedup), 3) if speedup is not None else None,
+            "gate_threshold": threshold,
+            "answers_identical": bool(identity_ok(identity)),
+            "gate_passed": bool(speed_ok and identity_ok(identity)),
+        }
+    summary = {
+        "benchmarks": benchmarks,
+        "all_gates_passed": all(
+            row.get("gate_passed") for row in benchmarks.values()
+        ),
+    }
+    output_path.write_text(json.dumps(summary, indent=2) + "\n",
+                           encoding="utf-8")
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--only", default="",
@@ -68,6 +159,7 @@ def main(argv=None) -> int:
         return 0
 
     failures = 0
+    run_status = {}
     for path in benchmarks:
         ok, elapsed, output = run_one(path)
         status = "ok" if ok else "FAILED"
@@ -75,7 +167,24 @@ def main(argv=None) -> int:
         if args.verbose or not ok:
             print(output)
         failures += not ok
+        if path.name in SERVING_SCRIPTS:
+            run_status[SERVING_SCRIPTS[path.name]] = ok
     print(f"{len(benchmarks) - failures}/{len(benchmarks)} benchmarks passed")
+    if set(run_status) == set(SERVING_GATES):
+        # Only a run that executed EVERY serving benchmark may rewrite the
+        # trajectory file: a --only-filtered run would otherwise republish
+        # stale on-disk results (or clobber the summary with "missing"
+        # rows) for benchmarks that never ran.
+        summary = consolidate_serving(run_status=run_status)
+        reported = sum(1 for row in summary["benchmarks"].values()
+                       if row["status"] == "ok")
+        print(f"serving summary: {reported}/{len(summary['benchmarks'])} "
+              f"benchmarks reported, all gates passed: "
+              f"{summary['all_gates_passed']} -> {SERVING_SUMMARY_PATH.name}")
+    elif run_status:
+        print(f"serving summary: skipped ({len(run_status)}/"
+              f"{len(SERVING_GATES)} serving benchmarks selected; "
+              f"{SERVING_SUMMARY_PATH.name} is rewritten only by full runs)")
     return 1 if failures else 0
 
 

@@ -159,6 +159,16 @@ class ServiceParams:
         Worker bound for the ``threads`` / ``processes`` serve backends.
         The pool is persistent (spun up once, reused per batch); call
         ``ShardedQueryService.close`` to release it.
+    resident_graph:
+        Register the served graph as a resident object on the serve
+        backend (see :meth:`repro.engine.executor.ExecutorBackend.
+        ensure_resident`): process workers materialise it once per epoch
+        from shared memory and scatter tasks ship only a handle, keeping
+        per-batch payloads O(sources) instead of O(graph).  A no-op for
+        the ``serial``/``threads`` backends (tasks already share the
+        owner's memory) and for the single-shard service.  Disable to
+        ship the graph inside every task (the pre-residency behaviour);
+        answers are bitwise-identical either way.
     """
 
     cache_capacity: int = 1024
@@ -166,6 +176,7 @@ class ServiceParams:
     default_top_k: int = 10
     serve_backend: str = "serial"
     serve_workers: int = 4
+    resident_graph: bool = True
 
     _VALID_SERVE_BACKENDS = ("serial", "threads", "processes")
 
@@ -204,6 +215,7 @@ class ServiceParams:
             "default_top_k": self.default_top_k,
             "serve_backend": self.serve_backend,
             "serve_workers": self.serve_workers,
+            "resident_graph": self.resident_graph,
         }
 
     @classmethod
@@ -320,12 +332,21 @@ class ShardingParams:
         produces a bitwise-identical index.
     max_workers:
         Worker bound for the ``threads`` / ``processes`` backends.
+    resident_graph:
+        Register the graph as a resident object on the build backend, so
+        per-shard row-estimation tasks ship a handle instead of pickling
+        the whole graph into every task (``processes`` backend; a no-op
+        for ``serial``/``threads``).  Live updates re-register the
+        post-update graph — a new residency epoch — before fanning out.
+        Disable to restore ship-per-task behaviour; the built index is
+        bitwise-identical either way.
     """
 
     num_shards: int = 1
     strategy: str = "hash"
     backend: str = "serial"
     max_workers: int = 4
+    resident_graph: bool = True
 
     _VALID_STRATEGIES = ("hash", "contiguous", "partitioner")
     _VALID_BACKENDS = ("serial", "threads", "processes")
@@ -361,6 +382,7 @@ class ShardingParams:
             "strategy": self.strategy,
             "backend": self.backend,
             "max_workers": self.max_workers,
+            "resident_graph": self.resident_graph,
         }
 
     @classmethod

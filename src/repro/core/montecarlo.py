@@ -146,6 +146,24 @@ def distribution_error(estimated: WalkDistributions, exact: WalkDistributions,
     return total / (estimated.steps + 1)
 
 
+def _sorted_intersection(
+    left_nodes: np.ndarray, right_nodes: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Positions of the common support of two sorted-unique node arrays.
+
+    Returns ``(left_idx, right_idx)`` such that
+    ``left_nodes[left_idx] == right_nodes[right_idx]``, ascending in node
+    id — the exact index pairs ``np.intersect1d(..., assume_unique=True,
+    return_indices=True)`` produces, computed with one ``searchsorted``
+    instead of intersect1d's concatenate-and-sort (which reallocates both
+    supports on every call).  This is the inner loop of pair scoring.
+    """
+    positions = np.searchsorted(right_nodes, left_nodes)
+    clipped = np.minimum(positions, len(right_nodes) - 1)
+    matched = right_nodes[clipped] == left_nodes
+    return np.flatnonzero(matched), positions[matched]
+
+
 def sparse_dot(left: SparseVector, right: SparseVector,
                weights: Optional[np.ndarray] = None) -> float:
     """Compute ``sum_u left[u] * right[u] * weights[u]`` for sparse vectors."""
@@ -153,16 +171,62 @@ def sparse_dot(left: SparseVector, right: SparseVector,
     right_nodes, right_values = right
     if len(left_nodes) == 0 or len(right_nodes) == 0:
         return 0.0
-    # Intersect supports; both node arrays are sorted (np.unique output).
-    common, left_idx, right_idx = np.intersect1d(
-        left_nodes, right_nodes, assume_unique=True, return_indices=True
-    )
-    if len(common) == 0:
+    # Both node arrays are sorted and unique (np.unique output).
+    left_idx, right_idx = _sorted_intersection(left_nodes, right_nodes)
+    if len(left_idx) == 0:
         return 0.0
     products = left_values[left_idx] * right_values[right_idx]
     if weights is not None:
-        products = products * weights[common]
+        products = products * weights[left_nodes[left_idx]]
     return float(products.sum())
+
+
+def combine_pair_distributions(
+    dist_i: WalkDistributions,
+    dist_j: WalkDistributions,
+    weights: np.ndarray,
+    decay: float,
+    steps: int,
+) -> float:
+    """Score one pair from two walk distributions over all steps at once.
+
+    Computes ``sum_t c^t sum_u (P^t e_i)[u] (P^t e_j)[u] weights[u]`` —
+    the MCSP combine — batching the per-step work over preallocated
+    buffers: the step supports are intersected with one ``searchsorted``
+    each (no intersect1d concatenate-and-sort), and the gathered values,
+    products and weights reuse two scratch buffers sized once to the
+    largest step support.  Bitwise-identical to the historical per-step
+    ``sparse_dot`` loop: each step's products are formed in the same
+    ascending-node order, summed with the same ``np.sum``, and accumulated
+    in the same step order.
+    """
+    max_support = 0
+    for step in range(steps + 1):
+        max_support = max(max_support, len(dist_i.per_step[step][0]))
+    scratch_a = np.empty(max_support, dtype=np.float64)
+    scratch_b = np.empty(max_support, dtype=np.float64)
+    total = 0.0
+    factor = 1.0
+    for step in range(steps + 1):
+        left_nodes, left_values = dist_i.per_step[step]
+        right_nodes, right_values = dist_j.per_step[step]
+        if len(left_nodes) and len(right_nodes):
+            left_idx, right_idx = _sorted_intersection(left_nodes, right_nodes)
+            count = len(left_idx)
+            if count:
+                products = np.multiply(
+                    np.take(left_values, left_idx, out=scratch_a[:count]),
+                    np.take(right_values, right_idx, out=scratch_b[:count]),
+                    out=scratch_a[:count],
+                )
+                step_weights = np.take(
+                    weights, left_nodes[left_idx], out=scratch_b[:count]
+                )
+                products = np.multiply(products, step_weights,
+                                       out=scratch_a[:count])
+                total += factor * float(products.sum())
+        factor *= decay
+    return float(total)
 
 
 def self_meeting_column(distributions: WalkDistributions, decay: float) -> Dict[int, float]:
@@ -170,14 +234,28 @@ def self_meeting_column(distributions: WalkDistributions, decay: float) -> Dict[
 
     ``a_i[u] = sum_t c^t (P^t e_i)[u]^2`` — the probability-weighted chance
     that two independent reverse walks from ``i`` are both at ``u`` after
-    ``t`` steps, discounted by ``c^t``.
+    ``t`` steps, discounted by ``c^t``.  Vectorised: all steps' supports
+    are concatenated once and the per-node sums are formed with one
+    ``np.bincount``, which accumulates strictly in input order — the same
+    left-to-right association as the historical per-entry dict
+    accumulation, so the result is bitwise-identical (``np.add.reduceat``
+    would not be: its segment reduction associates differently).
     """
-    column: Dict[int, float] = {}
+    node_chunks: List[np.ndarray] = []
+    value_chunks: List[np.ndarray] = []
     factor = 1.0
     for step in range(distributions.steps + 1):
         nodes, values = distributions.per_step[step]
-        contributions = factor * values * values
-        for node, contribution in zip(nodes.tolist(), contributions.tolist()):
-            column[node] = column.get(node, 0.0) + contribution
+        if len(nodes):
+            node_chunks.append(nodes)
+            value_chunks.append(factor * values * values)
         factor *= decay
-    return column
+    if not node_chunks:
+        return {}
+    all_nodes = np.concatenate(node_chunks)
+    all_values = np.concatenate(value_chunks)
+    # bincount over the inverse index keeps memory O(support) even for
+    # huge node ids; accumulation stays in input order either way.
+    unique_nodes, inverse = np.unique(all_nodes, return_inverse=True)
+    sums = np.bincount(inverse, weights=all_values)
+    return dict(zip(unique_nodes.tolist(), sums.tolist()))

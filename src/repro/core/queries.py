@@ -103,10 +103,39 @@ def rank_top_k_within(scores: np.ndarray, node: int,
     Returns at most ``min(k, len(scores))`` entries.
     """
     candidates = np.asarray(candidates, dtype=np.int64)
-    values = scores[candidates].astype(np.float64, copy=True)
+    # scores[candidates] is already a fresh gather, so the ranking may
+    # scribble on it directly (copy=False) — one allocation, not two.
+    return rank_top_k_entries(
+        candidates, scores[candidates], node, min(k, len(scores)),
+        include_self=include_self, copy=False,
+    )
+
+
+def rank_top_k_entries(candidates: np.ndarray, values: np.ndarray,
+                       node: int, k: int,
+                       include_self: bool = False,
+                       copy: bool = True) -> List[Tuple[int, float]]:
+    """Rank explicit ``(candidates, values)`` pairs into a top-``k`` list.
+
+    The payload-light form of :func:`rank_top_k_within`: the caller has
+    already gathered the candidates' scores, so a scatter task ships
+    ``O(candidates)`` floats instead of the full score vector — this is
+    what the sharded service's per-shard ranking tasks close over.  Same
+    canonical order, same result: ``rank_top_k_within(scores, node, part,
+    k)`` equals ``rank_top_k_entries(part, scores[part], node, min(k,
+    len(scores)))`` exactly.
+
+    ``copy=False`` lets a caller that owns ``values`` (a fresh gather, a
+    task's unpickled payload) skip the defensive copy; the array may then
+    be modified in place (the source is masked to ``-inf``).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    values = np.asarray(values, dtype=np.float64)
+    if copy:
+        values = values.copy()
     if not include_self:
         values[candidates == node] = -np.inf
-    return _select_top_k(candidates, values, min(k, len(scores)))
+    return _select_top_k(candidates, values, k)
 
 
 def merge_top_k(partials: Sequence[List[Tuple[int, float]]],
@@ -197,14 +226,16 @@ class QueryEngine:
 
     def combine_pair(self, dist_i: montecarlo.WalkDistributions,
                      dist_j: montecarlo.WalkDistributions) -> float:
-        """Score a pair from two walk distributions (shared with the service)."""
-        decay = 1.0
-        total = 0.0
-        for step in range(self.params.walk_steps + 1):
-            total += decay * montecarlo.sparse_dot(
-                dist_i.per_step[step], dist_j.per_step[step], weights=self.index.diagonal
-            )
-            decay *= self.params.c
+        """Score a pair from two walk distributions (shared with the service).
+
+        Delegates to :func:`repro.core.montecarlo.combine_pair_distributions`,
+        which batches all steps over preallocated buffers; the result is
+        bitwise-identical to the historical per-step ``sparse_dot`` loop.
+        """
+        total = montecarlo.combine_pair_distributions(
+            dist_i, dist_j, self.index.diagonal,
+            self.params.c, self.params.walk_steps,
+        )
         return float(min(total, 1.0))
 
     # ------------------------------------------------------------------ #

@@ -51,7 +51,13 @@ from repro.config import ShardingParams, SimRankParams
 from repro.core import linear_system
 from repro.core.incremental import IncrementalCloudWalker
 from repro.core.index import DiagonalIndex
-from repro.engine.executor import ExecutorBackend, SerialBackend, make_backend
+from repro.engine.executor import (
+    ExecutorBackend,
+    ResidentHandle,
+    SerialBackend,
+    make_backend,
+    resolve_resident,
+)
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import ShardPlan
@@ -112,6 +118,22 @@ def estimate_shard_rows(
     return linear_system.build_rows_streamed(graph, list(nodes), params)
 
 
+def estimate_shard_rows_resident(
+    handle: ResidentHandle, nodes: Sequence[int], params: SimRankParams
+) -> Triplets:
+    """:func:`estimate_shard_rows` against a pool-resident graph.
+
+    The task ships only the :class:`~repro.engine.executor.ResidentHandle`
+    plus the shard's node list — O(nodes) bytes, independent of graph
+    size; the worker materialises the graph once per residency epoch from
+    shared memory (:func:`repro.engine.executor.resolve_resident`).  The
+    estimated rows are bitwise-identical to the ship-the-graph path: the
+    restored graph's CSR arrays are byte-for-byte the registering
+    process's, and every row consumes its own ``(seed, source)`` stream.
+    """
+    return estimate_shard_rows(resolve_resident(handle), nodes, params)
+
+
 def gather_shard_rows(
     shard_triplets: Sequence[Triplets], n_nodes: int
 ) -> sparse.csr_matrix:
@@ -159,9 +181,16 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         the exact system is built in one pass, not sharded).
     backend:
         Executor backend running the per-shard tasks (default serial).
-        For the ``processes`` backend the graph and parameters are pickled
-        to the workers; both are plain-array dataclasses, so this works out
-        of the box.
+        For the ``processes`` backend the graph is either registered as a
+        pool-resident object (``resident=True``, the default: workers
+        materialise it once per epoch from shared memory and tasks ship a
+        handle) or pickled into every task (``resident=False``).
+    resident:
+        Register the graph on the backend's resident registry before each
+        fan-out (see :meth:`repro.engine.executor.ExecutorBackend.
+        ensure_resident`).  Identity-keyed: a live update's new graph
+        starts a new residency epoch automatically.  Results are bitwise
+        identical either way.
 
     Attributes
     ----------
@@ -185,6 +214,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         params: Optional[SimRankParams] = None,
         exact: bool = False,
         backend: Optional[ExecutorBackend] = None,
+        resident: bool = True,
     ) -> None:
         super().__init__(
             graph, params=params, exact=exact,
@@ -192,6 +222,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         )
         self.plan = plan
         self.backend = backend or SerialBackend()
+        self.resident = resident
         self.shard_build_seconds: Dict[int, float] = {}
         self.last_touched_shards: frozenset = frozenset()
 
@@ -210,6 +241,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             params=params,
             exact=exact,
             backend=make_backend(sharding.backend, max_workers=sharding.max_workers),
+            resident=sharding.resident_graph,
         )
 
     def _build_rows(self, graph: DiGraph, sources) -> sparse.csr_matrix:
@@ -224,10 +256,22 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             return super()._build_rows(graph, sources)
         groups = self.plan.group_nodes(sources)
         self.last_touched_shards = frozenset(groups)
-        tasks = {
-            shard: partial(estimate_shard_rows, graph, groups[shard], self.params)
-            for shard in groups
-        }
+        if self.resident:
+            # Register (or re-register after an update: `graph` is a new
+            # object, hence a new epoch) so each task ships a handle plus
+            # its node list instead of the whole graph.
+            handle = self.backend.ensure_resident("graph", graph)
+            tasks = {
+                shard: partial(estimate_shard_rows_resident, handle,
+                               groups[shard], self.params)
+                for shard in groups
+            }
+        else:
+            tasks = {
+                shard: partial(estimate_shard_rows, graph, groups[shard],
+                               self.params)
+                for shard in groups
+            }
         outcomes = run_shard_tasks(self.backend, tasks)
         for shard, (_triplets, seconds) in outcomes.items():
             self.shard_build_seconds[shard] = seconds

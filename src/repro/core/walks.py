@@ -36,19 +36,35 @@ def forward_reachable_set(
     re-estimate) and :mod:`repro.service` (which cache entries to
     invalidate) so both always agree.
     """
-    frontier = {graph.check_node(node) for node in seeds}
-    reachable: Set[int] = set(frontier)
+    seed_list = sorted({graph.check_node(node) for node in seeds})
+    if not seed_list:
+        return set()
+    indptr, indices = graph.out_csr
+    # The boolean mask is only a dedup structure; the result is assembled
+    # from the per-level frontiers so the O(n) mask is touched, not
+    # re-scanned, and the returned set stays O(|reachable|) work.
+    visited = np.zeros(graph.n_nodes, dtype=bool)
+    frontier = np.asarray(seed_list, dtype=np.int64)
+    visited[frontier] = True
+    reachable = set(seed_list)
     for _ in range(steps):
-        next_frontier: Set[int] = set()
-        for node in frontier:
-            for successor in graph.out_neighbors(node):
-                successor = int(successor)
-                if successor not in reachable:
-                    reachable.add(successor)
-                    next_frontier.add(successor)
-        if not next_frontier:
+        # One CSR sweep per level: gather every frontier node's out-row in
+        # a single fancy-index, then np.unique collapses duplicates before
+        # the visited mask filters already-reached nodes.
+        starts = indptr[frontier]
+        degrees = indptr[frontier + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
             break
-        frontier = next_frontier
+        gather = np.repeat(starts - np.cumsum(degrees) + degrees,
+                           degrees) + np.arange(total, dtype=np.int64)
+        fresh = np.unique(indices[gather])
+        fresh = fresh[~visited[fresh]]
+        if len(fresh) == 0:
+            break
+        visited[fresh] = True
+        reachable.update(fresh.tolist())
+        frontier = fresh
     return reachable
 
 

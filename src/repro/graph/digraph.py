@@ -301,6 +301,46 @@ class DiGraph:
         return cls(n_nodes, edges, name=name)
 
     # ------------------------------------------------------------------ #
+    # Residency protocol (zero-copy sharing across worker processes)
+    # ------------------------------------------------------------------ #
+    def resident_export(self):
+        """Export this graph as ``(meta, arrays)`` for shared-memory residency.
+
+        The arrays are the four CSR buffers exactly as held in memory; the
+        meta dict carries the scalars needed to rebuild the object around
+        them.  Used by :meth:`repro.engine.executor.ExecutorBackend.
+        ensure_resident` so process-backend scatter tasks ship a handle
+        instead of the graph.
+        """
+        meta = {"n_nodes": self._n, "n_edges": self._m, "name": self.name}
+        return meta, [
+            self._in_indptr, self._in_indices,
+            self._out_indptr, self._out_indices,
+        ]
+
+    @classmethod
+    def resident_restore(cls, meta, arrays) -> "DiGraph":
+        """Rebuild a graph around exported CSR buffers **without copying**.
+
+        ``arrays`` may be views over a shared-memory segment: the restored
+        graph adopts them as-is, so a worker process serves queries straight
+        out of the shared buffer.  The CSR invariants (sorted rows, dense
+        indptr) were established by the exporting graph's constructor and
+        are preserved byte-for-byte, which is what keeps every walk, query
+        and ranking bitwise-identical to the exporting process.
+        """
+        in_indptr, in_indices, out_indptr, out_indices = arrays
+        graph = cls.__new__(cls)
+        graph._n = int(meta["n_nodes"])
+        graph._m = int(meta["n_edges"])
+        graph.name = meta["name"]
+        graph._in_indptr = in_indptr
+        graph._in_indices = in_indices
+        graph._out_indptr = out_indptr
+        graph._out_indices = out_indices
+        return graph
+
+    # ------------------------------------------------------------------ #
     # Size accounting (used by the dataset table and the cost model)
     # ------------------------------------------------------------------ #
     def memory_bytes(self) -> int:

@@ -72,13 +72,13 @@ from repro.core.index import (
     ShardedIndex,
     ShardedSnapshotStore,
 )
-from repro.core.queries import QueryEngine, merge_top_k, rank_top_k_within
+from repro.core.queries import QueryEngine, merge_top_k, rank_top_k_entries
 from repro.core.sharding import (
     ShardedIncrementalWalker,
     make_plan,
     run_shard_tasks,
 )
-from repro.engine.executor import make_backend
+from repro.engine.executor import ResidentHandle, make_backend, resolve_resident
 from repro.errors import CloudWalkerError
 from repro.graph.digraph import DiGraph
 from repro.graph.partition import ShardPlan
@@ -119,6 +119,46 @@ def _simulate_shard_sources(
             )
         )
     return resolved
+
+
+def _simulate_shard_sources_resident(
+    handle: ResidentHandle,
+    sources: Sequence[int],
+    params: SimRankParams,
+    walkers: int,
+    max_batch_size: int,
+) -> Dict[int, montecarlo.WalkDistributions]:
+    """:func:`_simulate_shard_sources` against a pool-resident graph.
+
+    The zero-copy serving hot path: the task closes over a
+    :class:`~repro.engine.executor.ResidentHandle` and the shard's source
+    ids — O(sources) bytes — and the worker materialises the graph once
+    per residency epoch (:func:`repro.engine.executor.resolve_resident`),
+    so steady-state scatter payloads are independent of graph size.  The
+    simulated distributions are bitwise-identical to the ship-the-graph
+    path: the restored CSR arrays are byte-for-byte the service's, and
+    every source consumes its own ``(seed, source)`` stream.
+    """
+    return _simulate_shard_sources(
+        resolve_resident(handle), sources, params, walkers, max_batch_size
+    )
+
+
+def _rank_shard_resident(
+    handle: ResidentHandle, shard: int, values: np.ndarray,
+    source: int, k: int,
+) -> List[Tuple[int, float]]:
+    """One shard's top-k ranking against pool-resident owned-node arrays.
+
+    The per-shard owned-node id arrays are a pure function of the plan and
+    the node count — epoch-stable, like the graph — so they ride the
+    resident registry and each ranking task ships only the shard's score
+    slice (``values = scores[owned]``, O(n / K) floats) plus a handle.
+    """
+    # `values` is this task's own gather (or its unpickled payload on the
+    # processes backend), so the ranking may mask it in place.
+    owned = resolve_resident(handle)[shard]
+    return rank_top_k_entries(owned, values, source, k, copy=False)
 
 
 class ShardedQueryService(QueryService):
@@ -258,6 +298,7 @@ class ShardedQueryService(QueryService):
             graph, plan, params=params, exact=update_params.exact,
             backend=make_backend(sharding.backend,
                                  max_workers=sharding.max_workers),
+            resident=sharding.resident_graph,
         )
         mutator = GraphMutator(graph, params, update_params, walker=walker)
         index = mutator.build()
@@ -328,6 +369,7 @@ class ShardedQueryService(QueryService):
                 exact=update_params.exact,
                 backend=make_backend(service.sharding.backend,
                                      max_workers=service.sharding.max_workers),
+                resident=service.sharding.resident_graph,
             )
             walker.attach(service.index, system=system)
             service._mutator = GraphMutator(graph, service.params, update_params,
@@ -374,19 +416,27 @@ class ShardedQueryService(QueryService):
 
         Releases the query-time serve pool and, when a mutator exists, the
         build backend its :class:`~repro.core.sharding.
-        ShardedIncrementalWalker` fans re-estimation out through.  Safe to
-        call repeatedly, and the service stays usable afterwards — pooled
-        backends recreate their workers on the next scatter — so ``close``
-        is about releasing threads/processes, not about ending the
+        ShardedIncrementalWalker` fans re-estimation out through —
+        including every **resident shared-memory segment** either backend
+        registered, which must be unlinked even when a pool died mid-batch
+        (closing a broken ``ProcessBackend`` never raises; resident
+        release is a parent-side unlink).  The two backends are closed in
+        a ``try/finally`` chain so a failure releasing one can never leak
+        the other's segments.  Safe to call repeatedly, and the service
+        stays usable afterwards — pooled backends recreate their workers,
+        and residency re-registers, on the next scatter — so ``close`` is
+        about releasing threads/processes/memory, not about ending the
         service's life.  The CLI serve loop, the benchmarks and the tests
         call it via ``with service: ...``.
         """
         with self._lock:
-            self._serve_backend.close()
-            if self._mutator is not None:
-                backend = getattr(self._mutator.walker, "backend", None)
-                if backend is not None:
-                    backend.close()
+            try:
+                self._serve_backend.close()
+            finally:
+                if self._mutator is not None:
+                    backend = getattr(self._mutator.walker, "backend", None)
+                    if backend is not None:
+                        backend.close()
 
     def run_batch(self, queries: Sequence[Query],
                   walkers: Optional[int] = None) -> BatchAnswers:
@@ -419,6 +469,7 @@ class ShardedQueryService(QueryService):
                 exact=self.update_params.exact,
                 backend=make_backend(self.sharding.backend,
                                      max_workers=self.sharding.max_workers),
+                resident=self.sharding.resident_graph,
             )
             # Attaching estimates the linear system once — shard-by-shard,
             # concurrently — exactly like the single-shard attach but with
@@ -536,13 +587,29 @@ class ShardedQueryService(QueryService):
                 missing_by_shard.setdefault(shard, []).append(source)
         self.last_scatter_seconds = {}
         if missing_by_shard:
-            tasks = {
-                shard: partial(
-                    _simulate_shard_sources, self.graph, sources, self.params,
-                    walkers_count, self.service_params.max_batch_size,
-                )
-                for shard, sources in missing_by_shard.items()
-            }
+            if self.service_params.resident_graph:
+                # Zero-copy hot path: the graph rides the pool's resident
+                # registry (re-registered automatically when an update
+                # swaps it — `self.graph` is then a new object, i.e. a new
+                # epoch), so each task ships a handle plus its source ids.
+                handle = self._serve_backend.ensure_resident("graph", self.graph)
+                tasks = {
+                    shard: partial(
+                        _simulate_shard_sources_resident, handle, sources,
+                        self.params, walkers_count,
+                        self.service_params.max_batch_size,
+                    )
+                    for shard, sources in missing_by_shard.items()
+                }
+            else:
+                tasks = {
+                    shard: partial(
+                        _simulate_shard_sources, self.graph, sources,
+                        self.params, walkers_count,
+                        self.service_params.max_batch_size,
+                    )
+                    for shard, sources in missing_by_shard.items()
+                }
             outcomes = run_shard_tasks(self._serve_backend, tasks)
             for shard in sorted(outcomes):
                 simulated, seconds = outcomes[shard]
@@ -576,13 +643,31 @@ class ShardedQueryService(QueryService):
                 query.source, distributions[query.source]
             )
             owned_nodes = self._shard_nodes()
-            outcomes = run_shard_tasks(self._serve_backend, {
-                shard: partial(rank_top_k_within, scores, query.source,
-                               owned_nodes[shard], query.k)
-                for shard in range(self.num_shards)
-            })
+            capped_k = min(query.k, len(scores))
+            # Each task ships only its shard's gathered scores — O(n / K)
+            # per task instead of the full O(n) score vector K times over.
+            # With residency on, the owned-node id arrays (epoch-stable,
+            # like the graph) ride the resident registry too, so the ids
+            # are not re-shipped per query either.
+            if self.service_params.resident_graph:
+                nodes_handle = self._serve_backend.ensure_resident(
+                    "shard_nodes", owned_nodes)
+                tasks = {
+                    shard: partial(_rank_shard_resident, nodes_handle, shard,
+                                   scores[owned_nodes[shard]], query.source,
+                                   capped_k)
+                    for shard in range(self.num_shards)
+                }
+            else:
+                tasks = {
+                    shard: partial(rank_top_k_entries, owned_nodes[shard],
+                                   scores[owned_nodes[shard]], query.source,
+                                   capped_k, copy=False)
+                    for shard in range(self.num_shards)
+                }
+            outcomes = run_shard_tasks(self._serve_backend, tasks)
             partials = [outcomes[shard][0] for shard in range(self.num_shards)]
-            return merge_top_k(partials, min(query.k, len(scores)))
+            return merge_top_k(partials, capped_k)
         return super()._answer(query, distributions)
 
     # ------------------------------------------------------------------ #
@@ -627,6 +712,7 @@ class ShardedQueryService(QueryService):
             "shard_strategy": self.plan.strategy,
             "serve_backend": self.service_params.serve_backend,
             "serve_workers": self.service_params.serve_workers,
+            "resident_graph": self.service_params.resident_graph,
             "cache_size": sum(len(cache) for cache in self.shard_caches),
             "cache_capacity": self.service_params.cache_capacity * self.num_shards,
             "cache_memory_bytes": sum(

@@ -1,0 +1,138 @@
+"""The consolidated serving-benchmark summary (``BENCH_serving.json``).
+
+``benchmarks/run_all.py`` gathers every serving benchmark's persisted
+result into one top-level gate-status file so the serving perf trajectory
+is a single diffable artefact across PRs.  These tests pin the
+consolidation logic against synthetic result files: gate math, identity
+handling, and the missing-file-is-a-regression rule.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCH_DIR) not in sys.path:
+    sys.path.insert(0, str(BENCH_DIR))
+
+import run_all  # noqa: E402
+
+
+def _write(directory, name, payload):
+    (directory / f"{name}.json").write_text(json.dumps(payload),
+                                            encoding="utf-8")
+
+
+def _full_results(directory):
+    _write(directory, "service_throughput", {"speedup": 9.0, "mismatches": 0})
+    _write(directory, "incremental_service", {"speedup": 7.0, "mismatches": 0})
+    _write(directory, "sharded_build",
+           {"speedup_at_4": 3.1, "all_identical": True})
+    _write(directory, "parallel_serve",
+           {"speedup_at_4": 2.5, "all_identical": True})
+    _write(directory, "zero_copy_serve",
+           {"payload_reduction": 9.0, "throughput_speedup": 1.1,
+            "all_identical": True})
+
+
+def test_all_gates_pass_and_file_is_written(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    output = tmp_path / "BENCH_serving.json"
+    summary = run_all.consolidate_serving(results, output)
+    assert summary["all_gates_passed"] is True
+    assert set(summary["benchmarks"]) == set(run_all.SERVING_GATES)
+    for row in summary["benchmarks"].values():
+        assert row["status"] == "ok"
+        assert row["gate_passed"] is True
+        assert row["speedup"] >= row["gate_threshold"]
+    assert json.loads(output.read_text(encoding="utf-8")) == summary
+
+
+def test_below_threshold_fails_its_gate(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    _write(results, "zero_copy_serve",
+           {"payload_reduction": 3.0, "all_identical": True})
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["benchmarks"]["zero_copy_serve"]["gate_passed"] is False
+    assert summary["all_gates_passed"] is False
+
+
+def test_benchmarks_own_gate_verdict_wins_over_the_threshold(tmp_path):
+    """bench_zero_copy_serve gates payload OR throughput; a result whose
+    payload is under the table threshold but whose own gate passed (via
+    throughput) must be consolidated as a pass, not a false regression."""
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    _write(results, "zero_copy_serve",
+           {"payload_reduction": 4.8, "throughput_speedup": 2.5,
+            "gate_passed": True, "all_identical": True})
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["benchmarks"]["zero_copy_serve"]["gate_passed"] is True
+    # ... but an own-gate pass can never override an identity violation.
+    _write(results, "zero_copy_serve",
+           {"payload_reduction": 9.0, "gate_passed": True,
+            "all_identical": False})
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["benchmarks"]["zero_copy_serve"]["gate_passed"] is False
+
+
+def test_failed_run_overrides_stale_passing_file(tmp_path):
+    """A benchmark that failed THIS run must not be reported as passing
+    from a previous run's on-disk result (results are only persisted
+    after a benchmark's asserts pass, so the file is necessarily stale)."""
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    summary = run_all.consolidate_serving(
+        results, tmp_path / "BENCH_serving.json",
+        run_status={"zero_copy_serve": False, "parallel_serve": True},
+    )
+    row = summary["benchmarks"]["zero_copy_serve"]
+    assert row["status"] == "failed"
+    assert row["gate_passed"] is False
+    assert row["stale_file"] is not None
+    assert summary["benchmarks"]["parallel_serve"]["gate_passed"] is True
+    assert summary["all_gates_passed"] is False
+
+
+def test_identity_violation_fails_even_with_fast_speedup(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    _write(results, "parallel_serve",
+           {"speedup_at_4": 99.0, "all_identical": False})
+    _write(results, "service_throughput", {"speedup": 9.0, "mismatches": 2})
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["benchmarks"]["parallel_serve"]["gate_passed"] is False
+    assert summary["benchmarks"]["service_throughput"]["gate_passed"] is False
+
+
+def test_missing_result_is_reported_not_skipped(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    (results / "zero_copy_serve.json").unlink()
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["benchmarks"]["zero_copy_serve"]["status"] == "missing"
+    assert summary["all_gates_passed"] is False
+
+
+def test_repo_summary_tracks_the_committed_results():
+    """The committed BENCH_serving.json must reflect benchmark_results/."""
+    committed = run_all.SERVING_SUMMARY_PATH
+    assert committed.exists(), (
+        "BENCH_serving.json missing; run benchmarks/run_all.py (or any "
+        "serving benchmark standalone, then run_all.consolidate_serving)"
+    )
+    summary = json.loads(committed.read_text(encoding="utf-8"))
+    assert set(summary["benchmarks"]) == set(run_all.SERVING_GATES)

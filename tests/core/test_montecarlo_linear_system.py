@@ -149,3 +149,107 @@ class TestLinearSystem:
         assert info["nnz"] == system.nnz
         assert info["min_diagonal"] >= 1.0 - 1e-9
         assert 0.0 <= info["rows_diagonally_dominant_fraction"] <= 1.0
+
+
+class TestVectorisedKernelsBitwise:
+    """The vectorised serving kernels must be bitwise-equal to their
+    historical per-entry reference implementations (same summation
+    association, same element order) — not merely approximately equal."""
+
+    @staticmethod
+    def _reference_self_meeting_column(distributions, decay):
+        """The historical dict-accumulation loop, kept as ground truth."""
+        column = {}
+        factor = 1.0
+        for step in range(distributions.steps + 1):
+            nodes, values = distributions.per_step[step]
+            contributions = factor * values * values
+            for node, contribution in zip(nodes.tolist(), contributions.tolist()):
+                column[node] = column.get(node, 0.0) + contribution
+            factor *= decay
+        return column
+
+    @staticmethod
+    def _reference_combine_pair(dist_i, dist_j, weights, decay, steps):
+        """The historical per-step intersect1d loop, kept as ground truth."""
+        total = 0.0
+        factor = 1.0
+        for step in range(steps + 1):
+            left_nodes, left_values = dist_i.per_step[step]
+            right_nodes, right_values = dist_j.per_step[step]
+            dot = 0.0
+            if len(left_nodes) and len(right_nodes):
+                common, left_idx, right_idx = np.intersect1d(
+                    left_nodes, right_nodes, assume_unique=True,
+                    return_indices=True,
+                )
+                if len(common):
+                    products = left_values[left_idx] * right_values[right_idx]
+                    products = products * weights[common]
+                    dot = float(products.sum())
+            total += factor * dot
+            factor *= decay
+        return float(total)
+
+    def test_self_meeting_column_bitwise_equal(self, graph, params):
+        for source in (0, 7, 23, 41):
+            dist = montecarlo.estimate_walk_distributions(
+                graph, source, params, walkers=150)
+            fast = montecarlo.self_meeting_column(dist, decay=params.c)
+            reference = self._reference_self_meeting_column(dist, decay=params.c)
+            assert fast.keys() == reference.keys()
+            for node, value in reference.items():
+                assert fast[node] == value, f"node {node} diverged bitwise"
+
+    def test_self_meeting_column_empty_distributions(self):
+        dist = montecarlo.WalkDistributions(
+            source=0, steps=2, walkers=10,
+            per_step=[(np.empty(0, dtype=np.int64), np.empty(0))] * 3,
+        )
+        assert montecarlo.self_meeting_column(dist, decay=0.6) == {}
+
+    def test_combine_pair_distributions_bitwise_equal(self, graph, params):
+        weights = np.linspace(0.4, 1.0, graph.n_nodes)
+        pairs = [(0, 1), (3, 17), (23, 24), (5, 5)]
+        for node_i, node_j in pairs:
+            dist_i = montecarlo.estimate_walk_distributions(
+                graph, node_i, params, walkers=200)
+            dist_j = montecarlo.estimate_walk_distributions(
+                graph, node_j, params, walkers=200)
+            fast = montecarlo.combine_pair_distributions(
+                dist_i, dist_j, weights, params.c, params.walk_steps)
+            reference = self._reference_combine_pair(
+                dist_i, dist_j, weights, params.c, params.walk_steps)
+            assert fast == reference, f"pair ({node_i}, {node_j}) diverged"
+
+    def test_combine_pair_distributions_disjoint_and_dead(self):
+        empty = (np.empty(0, dtype=np.int64), np.empty(0))
+        dist_a = montecarlo.WalkDistributions(
+            source=0, steps=1, walkers=1,
+            per_step=[(np.array([0]), np.array([1.0])), empty],
+        )
+        dist_b = montecarlo.WalkDistributions(
+            source=1, steps=1, walkers=1,
+            per_step=[(np.array([1]), np.array([1.0])), empty],
+        )
+        weights = np.ones(4)
+        assert montecarlo.combine_pair_distributions(
+            dist_a, dist_b, weights, 0.6, 1) == 0.0
+
+    def test_sparse_dot_matches_intersect1d_reference(self):
+        rng = np.random.default_rng(7)
+        weights = rng.random(50)
+        for _ in range(20):
+            left_nodes = np.unique(rng.integers(0, 50, size=rng.integers(0, 12)))
+            right_nodes = np.unique(rng.integers(0, 50, size=rng.integers(0, 12)))
+            left = (left_nodes, rng.random(len(left_nodes)))
+            right = (right_nodes, rng.random(len(right_nodes)))
+            expected = 0.0
+            if len(left_nodes) and len(right_nodes):
+                common, li, ri = np.intersect1d(
+                    left_nodes, right_nodes, assume_unique=True,
+                    return_indices=True)
+                if len(common):
+                    expected = float(
+                        (left[1][li] * right[1][ri] * weights[common]).sum())
+            assert montecarlo.sparse_dot(left, right, weights) == expected

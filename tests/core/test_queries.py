@@ -173,3 +173,36 @@ class TestExactHelpers:
 
     def test_ranking_overlap_trivial_matrix(self):
         assert ranking_overlap(np.ones((1, 1)), np.ones((1, 1))) == 1.0
+
+
+class TestRankTopKEntries:
+    """The payload-light ranking form must equal rank_top_k_within exactly."""
+
+    def test_equals_rank_top_k_within_on_random_scores(self):
+        from repro.core.queries import rank_top_k_entries, rank_top_k_within
+
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            n = int(rng.integers(3, 40))
+            scores = rng.random(n)
+            # Duplicate scores exercise the node-id tie-break.
+            scores[rng.integers(0, n)] = scores[0]
+            node = int(rng.integers(0, n))
+            size = int(rng.integers(1, n + 1))
+            candidates = rng.choice(n, size=size, replace=False)
+            for k in (1, 2, 5, n + 3):
+                expected = rank_top_k_within(scores, node, candidates, k)
+                capped = min(k, len(scores))
+                actual = rank_top_k_entries(
+                    candidates, scores[candidates], node, capped)
+                assert actual == expected
+
+    def test_include_self_and_empty(self):
+        from repro.core.queries import rank_top_k_entries
+
+        scores = np.array([0.5, 1.0, 0.25])
+        ranked = rank_top_k_entries(np.array([0, 1, 2]), scores, 1, 3,
+                                    include_self=True)
+        assert ranked[0] == (1, 1.0)
+        assert rank_top_k_entries(np.array([], dtype=np.int64),
+                                  np.array([]), 0, 5) == []

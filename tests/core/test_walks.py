@@ -209,3 +209,63 @@ class TestExactWalkDistributions:
             nodes, values = counts[step]
             estimate[nodes] = values / 20000
             assert np.abs(estimate - exact[step]).max() < 0.02
+
+
+class TestForwardReachableSet:
+    """The vectorised CSR frontier sweep must match the set-based BFS."""
+
+    @staticmethod
+    def _reference(graph, seeds, steps):
+        """The historical per-node BFS, kept as the ground truth."""
+        frontier = {graph.check_node(node) for node in seeds}
+        reachable = set(frontier)
+        for _ in range(steps):
+            next_frontier = set()
+            for node in frontier:
+                for successor in graph.out_neighbors(node):
+                    successor = int(successor)
+                    if successor not in reachable:
+                        reachable.add(successor)
+                        next_frontier.add(successor)
+            if not next_frontier:
+                break
+            frontier = next_frontier
+        return reachable
+
+    def test_identical_to_reference_on_random_graphs(self):
+        rng = np.random.default_rng(20150731)
+        for _ in range(25):
+            n_nodes = int(rng.integers(2, 60))
+            n_edges = int(rng.integers(0, 5 * n_nodes))
+            edges = [(int(u), int(v))
+                     for u, v in rng.integers(0, n_nodes, size=(n_edges, 2))]
+            graph = DiGraph(n_nodes, edges)
+            n_seeds = int(rng.integers(1, min(n_nodes, 5) + 1))
+            seeds = [int(s) for s in rng.integers(0, n_nodes, size=n_seeds)]
+            steps = int(rng.integers(0, 6))
+            result = walks.forward_reachable_set(graph, seeds, steps)
+            assert result == self._reference(graph, seeds, steps)
+            assert all(isinstance(node, int) for node in result)
+
+    def test_zero_steps_returns_seeds(self):
+        graph = generators.cycle_graph(5)
+        assert walks.forward_reachable_set(graph, [1, 3], 0) == {1, 3}
+
+    def test_empty_seeds(self):
+        graph = generators.cycle_graph(4)
+        assert walks.forward_reachable_set(graph, [], 3) == set()
+
+    def test_saturates_on_cycle(self):
+        graph = generators.cycle_graph(6)
+        assert walks.forward_reachable_set(graph, [0], 10) == set(range(6))
+
+    def test_dead_end_stops_early(self):
+        graph = DiGraph(4, [(0, 1), (1, 2)])  # node 2 has no out-edges
+        assert walks.forward_reachable_set(graph, [0], 99) == {0, 1, 2}
+
+    def test_invalid_seed_raises(self):
+        from repro.errors import NodeNotFoundError
+
+        graph = generators.cycle_graph(4)
+        with pytest.raises(NodeNotFoundError):
+            walks.forward_reachable_set(graph, [7], 2)
