@@ -11,7 +11,10 @@ After a run, the *serving-layer* benchmarks' persisted results (each
 standalone entry point writes ``benchmark_results/<name>.json``) are
 consolidated into a top-level ``BENCH_serving.json`` — one row per
 benchmark with its headline speedup, gate threshold and pass/fail — so
-the serving perf trajectory is a single diffable file across PRs.
+the serving perf trajectory is a single diffable file across PRs.  Each
+consolidation also appends a timestamped copy of the summary to
+``BENCH_serving_history.jsonl``, preserving the run-over-run trajectory
+alongside the current snapshot.
 
 Usage::
 
@@ -28,6 +31,7 @@ import os
 import subprocess
 import sys
 import time
+from datetime import datetime, timezone
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
@@ -50,6 +54,7 @@ SERVING_GATES = {
     "sharded_build": ("speedup_at_4", 2.0, "all_identical", bool),
     "parallel_serve": ("speedup_at_4", 2.0, "all_identical", bool),
     "zero_copy_serve": ("payload_reduction", 5.0, "all_identical", bool),
+    "http_serve": ("qps_speedup", 2.0, "all_identical", bool),
 }
 
 #: Benchmark script name -> result-file stem, for tying a consolidation to
@@ -80,7 +85,8 @@ def run_one(path: Path) -> tuple:
 
 def consolidate_serving(results_dir: Path = RESULTS_DIR,
                         output_path: Path = SERVING_SUMMARY_PATH,
-                        run_status: "dict | None" = None) -> dict:
+                        run_status: "dict | None" = None,
+                        history_path: "Path | None" = None) -> dict:
     """Gather the serving benchmarks' persisted results into one summary.
 
     Reads each ``<results_dir>/<name>.json`` named in :data:`SERVING_GATES`
@@ -88,6 +94,14 @@ def consolidate_serving(results_dir: Path = RESULTS_DIR,
     benchmark that stopped persisting is itself a regression) and writes
     the per-benchmark speedup + gate status to ``output_path``.  Returns
     the summary dict.
+
+    Besides rewriting the ``output_path`` snapshot (the diffable
+    "current trajectory" file), every consolidation **appends** one
+    timestamped record to ``history_path`` (default:
+    ``BENCH_serving_history.jsonl`` next to the snapshot) — the snapshot
+    answers "where are we", the history answers "how did we get here"
+    across runs without digging through git.  Pass an explicit
+    ``history_path`` to redirect it (tests do).
 
     The gate verdict per benchmark is, in order of authority: the result
     file's own ``gate_passed`` field when present (a benchmark may gate on
@@ -136,6 +150,14 @@ def consolidate_serving(results_dir: Path = RESULTS_DIR,
     }
     output_path.write_text(json.dumps(summary, indent=2) + "\n",
                            encoding="utf-8")
+    if history_path is None:
+        history_path = output_path.with_name("BENCH_serving_history.jsonl")
+    record = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        **summary,
+    }
+    with history_path.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(record) + "\n")
     return summary
 
 

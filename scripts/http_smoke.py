@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of the HTTP serving tier, as CI runs it.
+
+Everything the unit suite cannot see in-process is exercised here, against
+a real child process:
+
+1. build a small graph + index through the CLI,
+2. start ``repro serve-http`` with the **processes** serve backend (the
+   one that owns shared-memory segments and worker pools) on an ephemeral
+   port, waiting for the startup announcement,
+3. apply a couple of seconds of concurrent query/update/health load from
+   several threads, requiring every response to succeed,
+4. send SIGTERM and require the graceful path: exit code 0 and the
+   ``shutdown complete`` line (the drain ran, requests were answered, not
+   dropped),
+5. compare ``/dev/shm`` before and after — a ``psm_*`` segment created
+   during the run that survives the server's exit is a leaked resident
+   graph or worker-pool segment, and the script exits non-zero.
+
+Exit codes: 0 all good, 1 a stage failed, 2 shared-memory segments leaked.
+
+Usage::
+
+    python scripts/http_smoke.py            # CI stage
+    python scripts/http_smoke.py --seconds 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+SHM_DIR = Path("/dev/shm")
+
+GRAPH_NODES = 300
+INDEX_WALKERS = 20
+QUERY_WALKERS = 200
+WALK_STEPS = 4
+N_LOAD_THREADS = 4
+
+
+def _cli_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _run_cli(*args: str) -> None:
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, env=_cli_env(), cwd=str(REPO_ROOT),
+    )
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} failed:\n{completed.stdout}"
+            f"{completed.stderr}"
+        )
+
+
+def _shm_segments() -> set:
+    """Names of the Python shared-memory segments currently in /dev/shm."""
+    if not SHM_DIR.is_dir():  # non-Linux fallback: nothing to compare
+        return set()
+    return {entry.name for entry in SHM_DIR.iterdir()
+            if entry.name.startswith("psm_")}
+
+
+def _start_server(graph: Path, index: Path) -> subprocess.Popen:
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve-http",
+         "--graph", str(graph), "--index", str(index),
+         "--shards", "2", "--serve-backend", "processes",
+         "--serve-workers", "2", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_cli_env(), cwd=str(REPO_ROOT),
+    )
+
+
+def _await_port(process: subprocess.Popen, timeout: float = 120.0) -> int:
+    """Read the startup announcement; returns the bound port."""
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"server exited before announcing its port "
+                f"(rc={process.poll()})"
+            )
+        match = re.search(r"serving on http://[^:]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise RuntimeError("server did not announce its port in time")
+
+
+def _load_worker(port: int, deadline: float,
+                 outcome: dict, lock: threading.Lock) -> None:
+    """One load thread: queries, health checks and a small update loop."""
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        turn = 0
+        while time.monotonic() < deadline:
+            if turn % 5 == 4:
+                connection.request("GET", "/healthz")
+            else:
+                body = json.dumps({
+                    "queries": [f"pair {turn % 20} {(turn + 7) % 20}",
+                                f"topk {turn % 20} 5"]
+                }).encode("utf-8")
+                connection.request("POST", "/query", body,
+                                   {"Content-Type": "application/json"})
+            response = connection.getresponse()
+            response.read()
+            with lock:
+                outcome["requests"] += 1
+                if response.status != 200:
+                    outcome["failures"] += 1
+            turn += 1
+    except Exception as exc:  # noqa: BLE001 — a load error fails the smoke
+        with lock:
+            outcome["errors"].append(f"{type(exc).__name__}: {exc}")
+    finally:
+        connection.close()
+
+
+def _apply_load(port: int, seconds: float) -> dict:
+    outcome = {"requests": 0, "failures": 0, "errors": []}
+    lock = threading.Lock()
+    deadline = time.monotonic() + seconds
+    threads = [
+        threading.Thread(target=_load_worker,
+                         args=(port, deadline, outcome, lock), daemon=True)
+        for _ in range(N_LOAD_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    # One live update mid-load, waited so the drain path runs under load.
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        body = json.dumps({"edges": [[0, 200], [3, 150]],
+                           "wait": True}).encode("utf-8")
+        connection.request("POST", "/update", body,
+                           {"Content-Type": "application/json"})
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        if response.status != 200 or "index_version" not in payload:
+            outcome["errors"].append(
+                f"waited update failed: {response.status} {payload}"
+            )
+    finally:
+        connection.close()
+    for thread in threads:
+        thread.join(timeout=seconds + 60)
+    return outcome
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=2.0,
+                        help="duration of the concurrent load phase")
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="http-smoke-") as tmp:
+        graph = Path(tmp) / "graph.tsv"
+        index = Path(tmp) / "index.npz"
+        print("http-smoke: building graph + index")
+        _run_cli("generate", "--model", "copying",
+                 "--nodes", str(GRAPH_NODES), "--degree", "4",
+                 "--seed", "7", "--output", str(graph))
+        _run_cli("index", "--graph", str(graph),
+                 "--walkers", str(INDEX_WALKERS),
+                 "--query-walkers", str(QUERY_WALKERS),
+                 "--steps", str(WALK_STEPS), "--output", str(index))
+
+        before = _shm_segments()
+        server = _start_server(graph, index)
+        try:
+            port = _await_port(server)
+            print(f"http-smoke: server up on port {port}, applying "
+                  f"{args.seconds:.0f}s of load from "
+                  f"{N_LOAD_THREADS} threads")
+            outcome = _apply_load(port, args.seconds)
+        except Exception:
+            server.kill()
+            server.wait(timeout=30)
+            raise
+        print(f"http-smoke: {outcome['requests']} requests, "
+              f"{outcome['failures']} non-200, "
+              f"{len(outcome['errors'])} client errors")
+
+        server.send_signal(signal.SIGTERM)
+        try:
+            rc = server.wait(timeout=120)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            print("http-smoke: FAIL - server did not exit after SIGTERM",
+                  file=sys.stderr)
+            return 1
+        tail = server.stdout.read() if server.stdout else ""
+
+        ok = True
+        if outcome["failures"] or outcome["errors"]:
+            for error in outcome["errors"]:
+                print(f"http-smoke: FAIL - client error: {error}",
+                      file=sys.stderr)
+            if outcome["failures"]:
+                print(f"http-smoke: FAIL - {outcome['failures']} non-200 "
+                      f"responses under load", file=sys.stderr)
+            ok = False
+        if outcome["requests"] == 0:
+            print("http-smoke: FAIL - the load phase issued no requests",
+                  file=sys.stderr)
+            ok = False
+        if rc != 0:
+            print(f"http-smoke: FAIL - server exited {rc} after SIGTERM "
+                  f"(expected 0)\n{tail}", file=sys.stderr)
+            ok = False
+        if "shutdown complete" not in tail:
+            print(f"http-smoke: FAIL - no graceful-shutdown line in "
+                  f"output:\n{tail}", file=sys.stderr)
+            ok = False
+
+        leaked = _shm_segments() - before
+        if leaked:
+            print(f"http-smoke: FAIL - leaked shared-memory segments: "
+                  f"{sorted(leaked)}", file=sys.stderr)
+            return 2
+        if not ok:
+            return 1
+    print("http-smoke: graceful shutdown verified, no leaked segments")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -117,6 +117,20 @@ def _smoke_fig3() -> Dict[str, Any]:
     )
 
 
+def _smoke_http_serve() -> Dict[str, Any]:
+    module = _load("bench_http_serve.py")
+    with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=15,
+                  QUERY_WALKERS=60, NUM_SHARDS=2, N_CLIENTS=3,
+                  REQUESTS_PER_CLIENT=2, HOT_SOURCES=8, PAIRS_PER_REQUEST=2,
+                  COALESCE_WINDOW=0.001, POST_UPDATE_REQUESTS=3,
+                  UPDATE_EDGES=((0, 100), (3, 90), (100, 7))):
+        result = module.http_serve_experiment()
+    # Bitwise identity is size-independent, so it IS asserted at smoke size
+    # (unlike the QPS/p99 gates).
+    assert result["all_identical"], "an HTTP smoke response diverged bitwise"
+    return result
+
+
 def _smoke_incremental_service() -> Dict[str, Any]:
     module = _load("bench_incremental_service.py")
     with _patched(module, N_COMMUNITIES=20, COMMUNITY_SIZE=10,
@@ -216,6 +230,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_fig1_convergence.py": _smoke_fig1,
     "bench_fig2_scalability.py": _smoke_fig2,
     "bench_fig3_effectiveness.py": _smoke_fig3,
+    "bench_http_serve.py": _smoke_http_serve,
     "bench_incremental_service.py": _smoke_incremental_service,
     "bench_parallel_serve.py": _smoke_parallel_serve,
     "bench_service_throughput.py": _smoke_service_throughput,

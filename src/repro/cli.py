@@ -20,6 +20,8 @@ Examples
     python -m repro serve --graph graph.tsv --index index.npz
     python -m repro serve --graph graph.tsv --index index.npz --shards 4 \
         --serve-backend threads --serve-workers 4
+    python -m repro serve-http --graph graph.tsv --index index.npz --shards 4 \
+        --serve-backend threads --port 8080 --coalesce-window 0.002
     python -m repro update --graph graph.tsv --index index.npz \
         --edges new_edges.tsv --snapshot-dir snapshots/ --output index.npz
     python -m repro snapshot list --dir snapshots/
@@ -375,36 +377,72 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
               "('pair i j', 'source i', 'topk i [k]'), 'add i j' to insert an "
               "edge live, 'version', 'stats' or 'quit'",
               file=out)
-        for line in sys.stdin:
-            line = line.strip()
-            if not line or line.startswith("#"):
-                continue
-            if line.lower() in ("quit", "exit"):
-                break
-            if line.lower() == "stats":
-                _print_service_stats(service, out)
-                continue
-            if line.lower() == "version":
-                print(f"index version {service.index_version}", file=out)
-                continue
-            try:
-                if line.lower().startswith("add "):
-                    result = service.add_edges([parse_edge(line[4:])])
-                    if result is None:
-                        print("edge already present; nothing to do", file=out)
-                    else:
-                        print(f"edge added: {result.affected_rows} rows "
-                              f"re-estimated, index now version "
-                              f"{service.index_version}", file=out)
+        try:
+            for line in sys.stdin:
+                line = line.strip()
+                if not line or line.startswith("#"):
                     continue
-                query = parse_query(line, default_k=args.k)
-                print(_format_answer(query, service.run_batch([query])[0]),
-                      file=out)
-            except CloudWalkerError as exc:
-                print(f"error: {exc}", file=out)
+                if line.lower() in ("quit", "exit"):
+                    break
+                if line.lower() == "stats":
+                    _print_service_stats(service, out)
+                    continue
+                if line.lower() == "version":
+                    print(f"index version {service.index_version}", file=out)
+                    continue
+                try:
+                    if line.lower().startswith("add "):
+                        result = service.add_edges([parse_edge(line[4:])])
+                        if result is None:
+                            print("edge already present; nothing to do", file=out)
+                        else:
+                            print(f"edge added: {result.affected_rows} rows "
+                                  f"re-estimated, index now version "
+                                  f"{service.index_version}", file=out)
+                        continue
+                    query = parse_query(line, default_k=args.k)
+                    print(_format_answer(query, service.run_batch([query])[0]),
+                          file=out)
+                except CloudWalkerError as exc:
+                    print(f"error: {exc}", file=out)
+        except (KeyboardInterrupt, EOFError):
+            # A Ctrl-C (or EOF from a wrapper) mid-command must not unwind
+            # past the prompt handling: announce, fall through to the
+            # stats epilogue, and let `finally` release the pools once.
+            print("interrupted; shutting down", file=out)
         _print_service_stats(service, out)
     finally:
         # Releases the persistent scatter pools of a sharded service.
+        service.close()
+    return 0
+
+
+def _cmd_serve_http(args: argparse.Namespace, out) -> int:
+    from repro.service.http import HttpServiceServer
+
+    service = _make_service(args)
+    try:
+        sharded = f" across {args.shards} shards" \
+            if getattr(args, "shards", 1) > 1 else ""
+        print(f"serving SimRank queries over {service.graph.name!r} "
+              f"({service.graph.n_nodes} nodes{sharded}) via HTTP; "
+              "POST /query, POST /update, GET /healthz|/version|/stats; "
+              "SIGTERM or Ctrl-C drains gracefully", file=out)
+        server = HttpServiceServer(
+            service, host=args.host, port=args.port,
+            coalesce_window=args.coalesce_window,
+            max_in_flight=args.max_in_flight,
+        )
+        try:
+            server.run(out=out)
+        except KeyboardInterrupt:
+            # Only reachable where asyncio signal handlers are unsupported;
+            # the graceful path handles SIGINT inside the loop.
+            print("interrupted; shutting down", file=out)
+    finally:
+        # The graceful drain already closed the service; close() is
+        # idempotent, so this is a no-op then — and the release path when
+        # startup failed before the server took ownership.
         service.close()
     return 0
 
@@ -687,6 +725,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--k", type=int, default=10,
                        help="default k for 'topk i' lines without one")
 
+    service_defaults = ServiceParams()
+    serve_http = subparsers.add_parser(
+        "serve-http",
+        help="networked HTTP/JSON query service: cross-connection batch "
+             "coalescing, backpressure (429/503) and graceful drain on "
+             "SIGTERM",
+    )
+    _add_graph_arguments(serve_http)
+    _add_service_arguments(serve_http)
+    _add_sharding_arguments(serve_http)
+    serve_http.add_argument("--index", required=True)
+    serve_http.add_argument("--host", default="127.0.0.1",
+                            help="bind address (default: %(default)s)")
+    serve_http.add_argument("--port", type=int,
+                            default=service_defaults.http_port,
+                            help="TCP port; 0 picks an ephemeral port, "
+                                 "announced on startup (default: %(default)s)")
+    serve_http.add_argument("--coalesce-window", dest="coalesce_window",
+                            type=float,
+                            default=service_defaults.coalesce_window,
+                            help="seconds to collect concurrent clients' "
+                                 "queries into one batch; 0 disables the "
+                                 "wait (default: %(default)s)")
+    serve_http.add_argument("--max-in-flight", dest="max_in_flight", type=int,
+                            default=service_defaults.max_in_flight,
+                            help="admitted-but-unanswered query bound before "
+                                 "503s (default: %(default)s)")
+
     update = subparsers.add_parser(
         "update",
         help="insert edges into an indexed graph: incremental re-index of "
@@ -732,6 +798,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "query-batch": _cmd_query_batch,
     "serve": _cmd_serve,
+    "serve-http": _cmd_serve_http,
     "update": _cmd_update,
     "snapshot": _cmd_snapshot,
 }

@@ -169,6 +169,23 @@ class ServiceParams:
         owner's memory) and for the single-shard service.  Disable to
         ship the graph inside every task (the pre-residency behaviour);
         answers are bitwise-identical either way.
+    http_port:
+        Default TCP port of the HTTP serving tier
+        (:mod:`repro.service.http`); ``0`` asks the OS for an ephemeral
+        port (the bound port is announced on startup).
+    coalesce_window:
+        Seconds the HTTP tier's cross-connection coalescer waits after the
+        first queued request before executing the combined batch, so
+        concurrent clients' sources are deduplicated into one scatter.
+        ``0`` disables the wait (each drain takes whatever has queued —
+        batching then comes only from requests arriving while a previous
+        batch executes).  Keep well below client timeouts: the window is
+        a latency floor for a lone request.
+    max_in_flight:
+        Admission bound of the HTTP tier: maximum queries admitted and not
+        yet answered before new ones are refused with a 503 (and pending
+        deferred edges before updates are refused with a 429).  Bounds
+        queueing memory and tail latency under overload.
     """
 
     cache_capacity: int = 1024
@@ -177,6 +194,9 @@ class ServiceParams:
     serve_backend: str = "serial"
     serve_workers: int = 4
     resident_graph: bool = True
+    http_port: int = 8080
+    coalesce_window: float = 0.002
+    max_in_flight: int = 64
 
     _VALID_SERVE_BACKENDS = ("serial", "threads", "processes")
 
@@ -202,6 +222,18 @@ class ServiceParams:
             raise ConfigurationError(
                 f"serve_workers must be >= 1, got {self.serve_workers}"
             )
+        if not 0 <= self.http_port <= 65535:
+            raise ConfigurationError(
+                f"http_port must be in [0, 65535], got {self.http_port}"
+            )
+        if self.coalesce_window < 0:
+            raise ConfigurationError(
+                f"coalesce_window must be >= 0, got {self.coalesce_window}"
+            )
+        if self.max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
 
     def with_(self, **changes: Any) -> "ServiceParams":
         """Return a copy with the given fields replaced."""
@@ -216,6 +248,9 @@ class ServiceParams:
             "serve_backend": self.serve_backend,
             "serve_workers": self.serve_workers,
             "resident_graph": self.resident_graph,
+            "http_port": self.http_port,
+            "coalesce_window": self.coalesce_window,
+            "max_in_flight": self.max_in_flight,
         }
 
     @classmethod

@@ -20,6 +20,39 @@ class GraphFormatError(CloudWalkerError):
     """Raised when an edge list / graph file cannot be parsed."""
 
 
+class WireFormatError(CloudWalkerError, ValueError):
+    """Raised when a wire line (CLI or HTTP) cannot be parsed.
+
+    Covers the textual protocols shared by the ``serve`` REPL, the batch
+    files and the HTTP/JSON tier: query lines (``pair i j``, ``source i``,
+    ``topk i [k]``) and edge lines (``<src> <dst>``).  The message always
+    names the offending input verbatim, so a client reading a 400 response
+    (or an operator reading the REPL echo) can see *which* line was bad,
+    not just why.  Subclasses :class:`ValueError` so protocol code can
+    catch wire-validation failures with a plain ``except ValueError``
+    while package-level ``except CloudWalkerError`` handlers keep working.
+    """
+
+
+class ServiceOverloadedError(CloudWalkerError):
+    """Raised when the serving tier refuses work to protect itself.
+
+    The HTTP tier's admission control maps this to backpressure status
+    codes: a query submitted past ``ServiceParams.max_in_flight`` (503 —
+    the serve pool is saturated) or an update past the pending-edge bound
+    (429 — the update queue is saturated).  Clients should retry with
+    backoff; nothing about the service is broken.
+    """
+
+    def __init__(self, what: str, current: int, bound: int) -> None:
+        super().__init__(
+            f"{what}: {current} in flight >= bound {bound}; retry with backoff"
+        )
+        self.what = what
+        self.current = current
+        self.bound = bound
+
+
 class NodeNotFoundError(CloudWalkerError, KeyError):
     """Raised when a query references a node id outside the graph."""
 

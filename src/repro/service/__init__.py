@@ -22,6 +22,14 @@ serving layer fit for sustained query traffic:
     same service: per-shard caches, index rows and versions behind a
     :class:`~repro.graph.partition.ShardPlan`, with answers
     bitwise-identical to the single-shard path for any shard count.
+:mod:`repro.service.coalesce`
+    :class:`BatchCoalescer`, cross-connection batch coalescing: concurrent
+    submissions are collected for a short window and executed as one
+    planned batch, with admission control bounding in-flight work.
+:mod:`repro.service.http`
+    :class:`HttpServiceServer`, the stdlib-only asyncio HTTP/JSON tier:
+    coalesced queries, backpressure (429/503), overlapped update drains
+    and a graceful SIGTERM drain over the service ``close()`` lifecycle.
 """
 
 from repro.service.batching import (
@@ -37,16 +45,20 @@ from repro.service.batching import (
     required_sources,
 )
 from repro.service.cache import CacheKey, CacheStats, WalkDistributionCache
+from repro.service.coalesce import BatchCoalescer
+from repro.service.http import HttpServiceServer
 from repro.service.service import BatchAnswers, QueryService
 from repro.service.sharded import ShardedQueryService
 from repro.service.updates import GraphMutator, MutationResult
 
 __all__ = [
     "BatchAnswers",
+    "BatchCoalescer",
     "BatchPlan",
     "CacheKey",
     "CacheStats",
     "GraphMutator",
+    "HttpServiceServer",
     "MutationResult",
     "PairQuery",
     "Query",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple, Union
 
-from repro.errors import CloudWalkerError
+from repro.errors import CloudWalkerError, WireFormatError
 
 
 @dataclass(frozen=True)
@@ -123,18 +123,31 @@ def parse_edge(text: str) -> Tuple[int, int]:
     """Parse one edge line of the CLI / wire format: ``<src> <dst>``.
 
     The update counterpart of :func:`parse_query`: the ``serve`` loop's
-    ``add <src> <dst>`` command and the ``update`` subcommand's edge files
-    both go through this, so the two wire formats stay in lockstep.
+    ``add <src> <dst>`` command, the ``update`` subcommand's edge files and
+    the HTTP tier's ``POST /update`` edges all go through this, so wire
+    validation stays single-sourced.  Rejects anything that is not exactly
+    two non-negative integers — surplus tokens and negative ids both raise
+    :class:`~repro.errors.WireFormatError` naming the offending input.
     """
     tokens = text.split()
-    if len(tokens) != 2:
-        raise CloudWalkerError(
+    if len(tokens) < 2:
+        raise WireFormatError(
             f"malformed edge line {text!r}; expected '<src> <dst>'"
         )
+    if len(tokens) > 2:
+        raise WireFormatError(
+            f"malformed edge line {text!r}; surplus tokens "
+            f"{tokens[2:]} after '<src> <dst>'"
+        )
     try:
-        return int(tokens[0]), int(tokens[1])
+        u, v = int(tokens[0]), int(tokens[1])
     except ValueError as exc:
-        raise CloudWalkerError(f"malformed edge line {text!r}: {exc}") from exc
+        raise WireFormatError(f"malformed edge line {text!r}: {exc}") from exc
+    if u < 0 or v < 0:
+        raise WireFormatError(
+            f"malformed edge line {text!r}; node ids must be non-negative"
+        )
+    return u, v
 
 
 def parse_query(text: str, default_k: int = 10) -> Query:
@@ -148,7 +161,7 @@ def parse_query(text: str, default_k: int = 10) -> Query:
     """
     tokens = text.split()
     if not tokens:
-        raise CloudWalkerError("empty query line")
+        raise WireFormatError("empty query line")
     kind, arguments = tokens[0].lower(), tokens[1:]
     try:
         if kind == "pair" and len(arguments) == 2:
@@ -158,11 +171,13 @@ def parse_query(text: str, default_k: int = 10) -> Query:
         if kind == "topk" and len(arguments) in (1, 2):
             k = int(arguments[1]) if len(arguments) == 2 else default_k
             if k < 1:
-                raise CloudWalkerError(f"topk requires k >= 1, got {k}")
+                raise WireFormatError(f"topk requires k >= 1, got {k}")
             return TopKQuery(int(arguments[0]), k=k)
+    except WireFormatError:
+        raise
     except ValueError as exc:
-        raise CloudWalkerError(f"malformed query {text!r}: {exc}") from exc
-    raise CloudWalkerError(
+        raise WireFormatError(f"malformed query {text!r}: {exc}") from exc
+    raise WireFormatError(
         f"malformed query {text!r}; expected 'pair <i> <j>', 'source <i>' "
         "or 'topk <i> [k]'"
     )

@@ -281,6 +281,21 @@ class QueryService:
         result = self._ensure_mutator().apply(edges)
         if result is None:
             return None
+        self._adopt_mutation(result)
+        return result
+
+    def _adopt_mutation(self, result: MutationResult) -> None:
+        """Swap in the mutator's post-update state and bump the version.
+
+        The cheap, state-swapping half of an update — split from the
+        expensive re-index so the overlapped-drain path
+        (:meth:`ShardedQueryService.flush_updates_overlapped
+        <repro.service.sharded.ShardedQueryService.flush_updates_overlapped>`)
+        can run the re-index outside the service lock and call only this
+        part under it.  Readers holding the previous ``graph`` / ``index``
+        / ``engine`` objects stay consistent: the mutator builds a *new*
+        graph and index and this merely re-points the service at them.
+        """
         self.graph = self._mutator.graph
         self.index = self._mutator.index
         self.engine = QueryEngine(self.graph, self.index, self.params)
@@ -289,7 +304,6 @@ class QueryService:
         self._counters["updates_applied"] += 1
         self._counters["edges_added"] += result.edges_added
         self._maybe_auto_snapshot()
-        return result
 
     def _maybe_auto_snapshot(self) -> None:
         cadence = self.update_params.snapshot_every
@@ -326,7 +340,8 @@ class QueryService:
     # Batch execution
     # ------------------------------------------------------------------ #
     def run_batch(self, queries: Sequence[Query],
-                  walkers: Optional[int] = None) -> BatchAnswers:
+                  walkers: Optional[int] = None,
+                  flush_pending: bool = True) -> BatchAnswers:
         """Answer a batch of queries; answers align with the input order.
 
         Queued graph updates are applied first, so a batch never runs
@@ -338,8 +353,14 @@ class QueryService:
         ``[(node, score), ...]``.  The returned :class:`BatchAnswers` lists
         the answers in input order and carries the :attr:`index_version`
         they were computed at.
+
+        ``flush_pending=False`` skips the drain — for callers that already
+        flushed under their own locking discipline (the sharded service
+        drains *before* taking its serve lock so the expensive re-index
+        never serialises readers behind it).
         """
-        self.flush_updates()
+        if flush_pending:
+            self.flush_updates()
         queries = list(queries)
         for query in queries:
             self._validate_query(query)

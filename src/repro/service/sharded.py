@@ -258,10 +258,19 @@ class ShardedQueryService(QueryService):
         ]
         self._shard_nodes_cache: Optional[List[np.ndarray]] = None
         self._shard_nodes_n = -1
-        # One reentrant lock serialises every state transition (batches,
-        # updates, snapshots, stats) so concurrent callers can never
-        # observe a half-applied update; the per-shard work *inside* a
-        # batch still fans out through the serve pool below.
+        # Two reentrant locks with a strict acquisition order —
+        # ``_update_lock`` before ``_lock``, never the reverse:
+        #
+        # * ``_update_lock`` (outer) owns the mutator: the pending queue
+        #   and the expensive incremental re-index.  Drains hold ONLY this
+        #   lock while re-indexing, so readers keep serving the previous
+        #   consistent graph/index/engine objects in the meantime.
+        # * ``_lock`` (inner) owns the served state: batches, the
+        #   swap-in of an applied update (:meth:`_adopt_mutation`),
+        #   snapshots and stats.  Concurrent callers can never observe a
+        #   half-applied update; the per-shard work *inside* a batch
+        #   still fans out through the serve pool below.
+        self._update_lock = threading.RLock()
         self._lock = threading.RLock()
         self._serve_backend = make_backend(
             self.service_params.serve_backend,
@@ -429,7 +438,7 @@ class ShardedQueryService(QueryService):
         service's life.  The CLI serve loop, the benchmarks and the tests
         call it via ``with service: ...``.
         """
-        with self._lock:
+        with self._update_lock, self._lock:
             try:
                 self._serve_backend.close()
             finally:
@@ -439,24 +448,57 @@ class ShardedQueryService(QueryService):
                         backend.close()
 
     def run_batch(self, queries: Sequence[Query],
-                  walkers: Optional[int] = None) -> BatchAnswers:
+                  walkers: Optional[int] = None,
+                  flush_pending: bool = True) -> BatchAnswers:
         """Answer a batch (single-shard semantics), thread-safely.
 
-        Identical to :meth:`QueryService.run_batch` except that the whole
-        batch — queued-update drain, cache resolution, scatter, answers —
-        executes under the service lock: concurrent batches and live
-        updates serialise, so the returned
+        Identical to :meth:`QueryService.run_batch` except for the locking
+        discipline: the deferred-update queue is drained first — but only
+        if no other thread is already draining it (a non-blocking
+        acquisition of the update lock), so a batch never stalls behind an
+        in-flight re-index; it simply serves the previous consistent
+        version, which the in-flight drain will swap out atomically when
+        done.  The batch itself — cache resolution, scatter, answers —
+        then executes under the serve lock: concurrent batches and update
+        swap-ins serialise, so the returned
         :class:`~repro.service.service.BatchAnswers` is always
         self-consistent with the :attr:`~QueryService.index_version` it
         carries.  Within the batch, per-shard simulation and ranking run
         concurrently on the serve pool.
         """
+        if flush_pending and self._update_lock.acquire(blocking=False):
+            try:
+                super().flush_updates()
+            finally:
+                self._update_lock.release()
         with self._lock:
-            return super().run_batch(queries, walkers=walkers)
+            return super().run_batch(queries, walkers=walkers,
+                                     flush_pending=False)
 
     def flush_updates(self) -> Optional[MutationResult]:
-        """Drain queued edge insertions as one re-index, thread-safely."""
-        with self._lock:
+        """Drain queued edge insertions as one re-index, thread-safely.
+
+        Delegates to :meth:`flush_updates_overlapped`: the re-index runs
+        under the update lock only, so concurrent batches keep serving the
+        previous consistent version instead of queueing behind the drain.
+        """
+        return self.flush_updates_overlapped()
+
+    def flush_updates_overlapped(self) -> Optional[MutationResult]:
+        """Drain queued updates with the re-index OFF the serve lock.
+
+        The overlapped-drain primitive the HTTP tier's drain strand calls:
+        the expensive incremental re-index holds only the update lock
+        (serialising with other updates), while in-flight and new query
+        batches proceed under the serve lock against the previous
+        graph/index/engine objects — which stay internally consistent
+        because the mutator builds *new* objects and
+        :meth:`_adopt_mutation` re-points the service at them atomically
+        under the serve lock at the very end.  Returns the applied
+        :class:`~repro.service.updates.MutationResult`, or None when the
+        queue was empty (or contained only already-present edges).
+        """
+        with self._update_lock:
             return super().flush_updates()
 
     # ------------------------------------------------------------------ #
@@ -488,34 +530,42 @@ class ShardedQueryService(QueryService):
         :meth:`stats`.  Application, deferral and the bounded queue behave
         exactly like :meth:`QueryService.add_edges`; the re-index itself
         touches only the shards owning affected rows (their re-estimation
-        tasks fan out through the walker's executor backend), and the call
-        serialises with in-flight query batches on the service lock.
+        tasks fan out through the walker's executor backend), and the
+        re-index holds only the update lock — in-flight query batches keep
+        serving the previous consistent version until the swap-in.
         """
-        with self._lock:
-            for shard, routed in self.plan.group_edges(
-                    (int(u), int(v)) for u, v in edges).items():
-                self._shard_counters[shard]["edges_routed"] += len(routed)
+        with self._update_lock:
+            with self._lock:
+                for shard, routed in self.plan.group_edges(
+                        (int(u), int(v)) for u, v in edges).items():
+                    self._shard_counters[shard]["edges_routed"] += len(routed)
             return super().add_edges(edges, defer=defer)
 
-    def _apply_updates(self, edges: Sequence[Tuple[int, int]]) -> Optional[MutationResult]:
-        """Drain the queue plus ``edges``; re-index and invalidate per shard."""
-        result = self._ensure_mutator().apply(edges)
-        if result is None:
-            return None
-        self.graph = self._mutator.graph
-        self.index = self._mutator.index
-        self.engine = QueryEngine(self.graph, self.index, self.params)
-        self._shard_nodes_cache = None
-        self._version += 1
-        touched = self.plan.group_nodes(result.affected)
-        for shard, nodes in touched.items():
-            self.shard_caches[shard].invalidate_sources(nodes)
-        self.sharded_index.index = self.index
-        self.sharded_index.touch(sorted(touched), self._version)
-        self._counters["updates_applied"] += 1
-        self._counters["edges_added"] += result.edges_added
-        self._maybe_auto_snapshot()
-        return result
+    def _adopt_mutation(self, result: MutationResult) -> None:
+        """Swap in the post-update state; invalidate per-shard, atomically.
+
+        The sharded counterpart of :meth:`QueryService._adopt_mutation`:
+        runs under the serve lock (the expensive re-index already happened,
+        possibly detached from it), re-points the service at the mutator's
+        new graph/index/engine, invalidates exactly the affected sources in
+        their owning shards' caches, and bumps the global and touched-shard
+        versions together — so a concurrent batch sees either the complete
+        old state or the complete new one, never a mixture.
+        """
+        with self._lock:
+            self.graph = self._mutator.graph
+            self.index = self._mutator.index
+            self.engine = QueryEngine(self.graph, self.index, self.params)
+            self._shard_nodes_cache = None
+            self._version += 1
+            touched = self.plan.group_nodes(result.affected)
+            for shard, nodes in touched.items():
+                self.shard_caches[shard].invalidate_sources(nodes)
+            self.sharded_index.index = self.index
+            self.sharded_index.touch(sorted(touched), self._version)
+            self._counters["updates_applied"] += 1
+            self._counters["edges_added"] += result.edges_added
+            self._maybe_auto_snapshot()
 
     def save_snapshot(self, directory: Optional[PathLike] = None) -> Tuple[int, str]:
         """Persist one consistent sharded snapshot at the current version.
@@ -524,9 +574,11 @@ class ShardedQueryService(QueryService):
         broadcast diagonal plus its own rows of the linear system (when the
         service maintains one).  Returns ``(version, directory)``.  Saving
         the same version twice is a no-op; a directory ahead of this
-        service, or created with a different plan, is rejected.
+        service, or created with a different plan, is rejected.  Takes the
+        update lock before the serve lock, so a snapshot can never read the
+        linear system mid-way through a detached re-index.
         """
-        with self._lock:
+        with self._update_lock, self._lock:
             directory = directory if directory is not None \
                 else self.update_params.snapshot_dir
             if directory is None:

@@ -222,6 +222,30 @@ class GraphMutator:
         self._pending.extend(edges)
         return len(self._pending)
 
+    def take_pending(self) -> List[Edge]:
+        """Atomically snapshot and clear the pending queue.
+
+        The overlapped-drain path uses this under the owner's update lock:
+        the taken edges belong to exactly one drain, so an ``enqueue``
+        racing with a long :meth:`apply_detached` can never be lost (the
+        next drain picks it up) nor double-applied.  Pair with
+        :meth:`requeue` if the drain fails.
+        """
+        taken, self._pending = self._pending, []
+        return taken
+
+    def requeue(self, edges: Sequence[Edge]) -> int:
+        """Put already-validated edges back at the FRONT of the queue.
+
+        The failure path of a detached drain: edges taken by
+        :meth:`take_pending` must survive an ``apply_detached`` that raised.
+        Re-insertion deliberately skips the ``max_pending_edges`` bound —
+        this is a recovery path restoring edges the bound already admitted,
+        and dropping them would silently violate at-least-once delivery.
+        """
+        self._pending = list(edges) + self._pending
+        return len(self._pending)
+
     def apply(self, edges: Sequence[Edge] = ()) -> Optional[MutationResult]:
         """Drain the queue plus ``edges`` as ONE incremental re-index.
 
@@ -233,7 +257,27 @@ class GraphMutator:
         entries, or bump the version (at-least-once update feeds replay
         constantly).  Returns None when nothing (new) is left to apply.
         """
-        batch = self._pending + self._validated(edges)
+        taken = self.take_pending()
+        try:
+            return self.apply_detached(taken + self._validated(edges))
+        except Exception:
+            # A failed apply must not silently drop previously deferred
+            # edges: restore them for the next drain attempt.
+            self.requeue(taken)
+            raise
+
+    def apply_detached(self, edges: Sequence[Edge]) -> Optional[MutationResult]:
+        """Re-index ``edges`` WITHOUT reading or clearing the pending queue.
+
+        The core of :meth:`apply`, split out for drains that run outside
+        the owner's lock: the caller snapshots the queue first (via
+        :meth:`take_pending`, under its lock), then runs this expensive
+        step detached while readers keep serving the previous consistent
+        graph/index.  Because it never touches ``_pending``, a concurrent
+        ``enqueue`` is safe throughout.  Inputs are validated here too, so
+        callers may pass raw edges.  Returns None when nothing new is left.
+        """
+        batch = self._validated(edges)
         seen = set()
         fresh: List[Edge] = []
         for u, v in batch:
@@ -245,13 +289,9 @@ class GraphMutator:
                 continue
             fresh.append((u, v))
         if not fresh:
-            self._pending = []
             return None
         start = time.perf_counter()
         info = self._walker.add_edges(fresh)
-        # Clear only after a successful re-index: a failed apply must not
-        # silently drop previously deferred edges.
-        self._pending = []
         return MutationResult(
             edges_added=len(fresh),
             new_nodes=int(info["new_nodes"]),

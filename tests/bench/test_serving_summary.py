@@ -33,6 +33,9 @@ def _full_results(directory):
     _write(directory, "zero_copy_serve",
            {"payload_reduction": 9.0, "throughput_speedup": 1.1,
             "all_identical": True})
+    _write(directory, "http_serve",
+           {"qps_speedup": 2.6, "p99_seconds": 0.05, "gate_passed": True,
+            "all_identical": True})
 
 
 def test_all_gates_pass_and_file_is_written(tmp_path):
@@ -127,6 +130,46 @@ def test_missing_result_is_reported_not_skipped(tmp_path):
     assert summary["all_gates_passed"] is False
 
 
+def test_history_appends_one_timestamped_record_per_consolidation(tmp_path):
+    """The snapshot is rewritten; the history grows — one JSONL record per
+    consolidation, each a timestamped copy of the summary it produced."""
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    output = tmp_path / "BENCH_serving.json"
+    history = tmp_path / "BENCH_serving_history.jsonl"
+
+    first = run_all.consolidate_serving(results, output)
+    _write(results, "parallel_serve",
+           {"speedup_at_4": 1.1, "all_identical": True})
+    second = run_all.consolidate_serving(results, output)
+
+    # The snapshot holds only the latest run ...
+    assert json.loads(output.read_text(encoding="utf-8")) == second
+    # ... while the history kept both, in order, each timestamped.
+    records = [json.loads(line) for line in
+               history.read_text(encoding="utf-8").splitlines()]
+    assert len(records) == 2
+    for record, summary in zip(records, (first, second)):
+        assert record["timestamp"]
+        assert record["benchmarks"] == summary["benchmarks"]
+        assert record["all_gates_passed"] == summary["all_gates_passed"]
+    assert records[0]["all_gates_passed"] is True
+    assert records[1]["all_gates_passed"] is False
+
+
+def test_history_path_override(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    elsewhere = tmp_path / "trajectory.jsonl"
+    run_all.consolidate_serving(results, tmp_path / "BENCH_serving.json",
+                                history_path=elsewhere)
+    assert not (tmp_path / "BENCH_serving_history.jsonl").exists()
+    record = json.loads(elsewhere.read_text(encoding="utf-8"))
+    assert set(record["benchmarks"]) == set(run_all.SERVING_GATES)
+
+
 def test_repo_summary_tracks_the_committed_results():
     """The committed BENCH_serving.json must reflect benchmark_results/."""
     committed = run_all.SERVING_SUMMARY_PATH
@@ -136,3 +179,19 @@ def test_repo_summary_tracks_the_committed_results():
     )
     summary = json.loads(committed.read_text(encoding="utf-8"))
     assert set(summary["benchmarks"]) == set(run_all.SERVING_GATES)
+
+
+def test_repo_history_trails_the_committed_summary():
+    """The committed history's newest record matches the snapshot's verdict
+    set — the two files are written by the same consolidation."""
+    history = run_all.SERVING_SUMMARY_PATH.with_name(
+        "BENCH_serving_history.jsonl"
+    )
+    assert history.exists(), (
+        "BENCH_serving_history.jsonl missing; any consolidation appends it"
+    )
+    lines = history.read_text(encoding="utf-8").splitlines()
+    assert lines, "history file exists but is empty"
+    newest = json.loads(lines[-1])
+    assert newest["timestamp"]
+    assert set(newest["benchmarks"]) == set(run_all.SERVING_GATES)

@@ -89,9 +89,25 @@ class TestParseEdge:
         assert parse_edge("3 17") == (3, 17)
         assert parse_edge("  0\t9 ") == (0, 9)
 
-    @pytest.mark.parametrize("text", ["", "1", "1 2 3", "a b", "1 b"])
+    @pytest.mark.parametrize("text", ["", "1", "1 2 3", "a b", "1 b",
+                                      "-1 2", "1 -2"])
     def test_rejects_malformed_lines(self, text):
         from repro.service import parse_edge
 
         with pytest.raises(CloudWalkerError):
             parse_edge(text)
+
+    def test_rejections_name_the_offending_input(self):
+        """Surplus tokens and negative ids are refused with the input
+        quoted — the message a REPL operator or HTTP client actually sees."""
+        from repro.errors import WireFormatError
+        from repro.service import parse_edge
+
+        with pytest.raises(WireFormatError, match=r"'1 2 3'.*surplus tokens"):
+            parse_edge("1 2 3")
+        with pytest.raises(WireFormatError,
+                           match=r"'-1 2'.*non-negative"):
+            parse_edge("-1 2")
+        # WireFormatError doubles as ValueError for protocol code.
+        with pytest.raises(ValueError):
+            parse_edge("3 -9")

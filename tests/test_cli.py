@@ -215,6 +215,56 @@ class TestQueryBatchAndServe:
         # The second identical query was a cache hit.
         assert "hit rate 50.00%" in output
 
+    def test_serve_loop_keyboard_interrupt_is_a_clean_shutdown(
+            self, indexed, monkeypatch):
+        """Ctrl-C mid-session must not unwind with a traceback: the REPL
+        prints its shutdown line, still reports stats, and exits 0 (the
+        ``finally`` close releases pools exactly once)."""
+        import sys
+
+        class _InterruptedStdin:
+            def __init__(self, lines):
+                self._lines = iter(lines)
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                try:
+                    return next(self._lines)
+                except StopIteration:
+                    raise KeyboardInterrupt from None
+
+        graph_file, index_path = indexed
+        monkeypatch.setattr(sys, "stdin", _InterruptedStdin(["pair 3 9\n"]))
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+        )
+        assert code == 0
+        assert "s(3, 9)" in output
+        assert "interrupted; shutting down" in output
+        assert "served 1 queries" in output
+
+    def test_serve_loop_eof_mid_command_is_a_clean_shutdown(
+            self, indexed, monkeypatch):
+        import sys
+
+        class _EofStdin:
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                raise EOFError
+
+        graph_file, index_path = indexed
+        monkeypatch.setattr(sys, "stdin", _EofStdin())
+        code, output = run_cli(
+            "serve", "--graph", str(graph_file), "--index", str(index_path),
+        )
+        assert code == 0
+        assert "interrupted; shutting down" in output
+        assert "served 0 queries" in output
+
     def test_serve_loop_live_edge_insertion(self, indexed, monkeypatch):
         import io as io_module
         import sys
