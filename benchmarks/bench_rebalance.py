@@ -1,0 +1,223 @@
+"""Workload-adaptive rebalancing — p99 scatter critical path on a hot shard.
+
+A contiguous plan is the worst case for a skewed trace: when every hot
+source lives in one node-id range, one shard simulates the whole batch
+while the others idle, so the scatter's critical path degenerates to the
+sequential time.  The rebalance planner
+(:func:`repro.graph.partition.load_balanced_plan` +
+:func:`repro.engine.cost_model.evaluate_rebalance`) watches the service's
+per-shard load counters and proposes an assignment that spreads the
+observed hot nodes; ``ShardedQueryService.maybe_rebalance`` migrates the
+live service to it without changing a single answer (every shard block is
+a row-slice of the same plan-independent linear system).
+
+This benchmark drives a skewed hot-node trace at a contiguous plan,
+lets the threshold-gated planner migrate, and replays the same trace:
+
+* p99 of the per-batch scatter critical path (LPT makespan of
+  ``last_scatter_seconds`` over ``WORKERS`` workers, the same
+  simulated-strong-scaling accounting as ``bench_parallel_serve.py``)
+  must improve by >= 1.5x after the migration;
+* every batch — before, and after the migration — must be
+  bitwise-identical to the single-shard ``QueryService`` reference.
+
+Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_rebalance.py
+"""
+
+import time
+
+import numpy as np
+
+GRAPH_NODES = 1_600
+OUT_DEGREE = 6
+WALK_STEPS = 5
+INDEX_WALKERS = 30
+QUERY_WALKERS = 800
+NUM_SHARDS = 6
+WORKERS = 4
+HOT_SOURCES = 48
+N_TOPK = 6
+TOP_K = 10
+N_BATCHES = 12
+MIN_P99_IMPROVEMENT = 1.5
+SEED = 37
+
+
+def _params():
+    from repro.config import SimRankParams
+
+    return SimRankParams(
+        c=0.6, walk_steps=WALK_STEPS, jacobi_iterations=3,
+        index_walkers=INDEX_WALKERS, query_walkers=QUERY_WALKERS, seed=SEED,
+    )
+
+
+def _hot_queries(n_nodes):
+    """A pair-heavy batch whose every source sits in contiguous shard 0.
+
+    Node ids ``0..HOT_SOURCES`` all fall inside the first contiguous
+    range, so the whole trace's walk simulation lands on one shard —
+    the skew the planner is supposed to notice and dissolve.
+    """
+    from repro.service import PairQuery, TopKQuery
+
+    sources = list(range(min(HOT_SOURCES, n_nodes)))
+    queries = [PairQuery(a, b) for a, b in zip(sources[0::2], sources[1::2])]
+    queries.extend(TopKQuery(source, k=TOP_K) for source in sources[:N_TOPK])
+    return queries
+
+
+def _answers_equal(left, right):
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, (float, list)):
+            if a != b:
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True
+
+
+def _makespan(seconds, workers):
+    """Longest-processing-time-first schedule of tasks onto ``workers``."""
+    loads = [0.0] * workers
+    for task in sorted(seconds, reverse=True):
+        loads[loads.index(min(loads))] += task
+    return max(loads) if loads else 0.0
+
+
+def _drive(service, queries, reference):
+    """Replay the trace ``N_BATCHES`` times; per-batch critical paths."""
+    criticals = []
+    identical = True
+    for _ in range(N_BATCHES):
+        answers = service.run_batch(queries)
+        identical &= _answers_equal(reference, answers)
+        criticals.append(
+            _makespan(service.last_scatter_seconds.values(), WORKERS)
+        )
+    return criticals, identical
+
+
+def rebalance_experiment():
+    from repro.config import (
+        RebalanceParams,
+        ServiceParams,
+        ShardingParams,
+    )
+    from repro.core.diagonal import build_diagonal_index
+    from repro.graph import generators
+    from repro.service import QueryService, ShardedQueryService
+
+    params = _params()
+    graph = generators.copying_model_graph(
+        GRAPH_NODES, out_degree=OUT_DEGREE, seed=SEED, name="rebalance"
+    )
+    index = build_diagonal_index(graph, params)
+    queries = _hot_queries(graph.n_nodes)
+
+    single = QueryService(graph, index, params)
+    start = time.perf_counter()
+    reference = single.run_batch(queries)
+    single_seconds = time.perf_counter() - start
+
+    # Serial scatter: per-shard seconds measured without worker-thread
+    # timeslicing noise (this host is pinned to one core); the W-worker
+    # critical path is the LPT makespan of those timings, the same
+    # simulated-strong-scaling accounting as bench_parallel_serve.py.
+    service = ShardedQueryService(
+        graph, index, params,
+        ServiceParams(cache_capacity=0, serve_backend="serial",
+                      serve_workers=1),
+        sharding=ShardingParams(num_shards=NUM_SHARDS, strategy="contiguous"),
+        rebalance_params=RebalanceParams(
+            improvement_threshold=MIN_P99_IMPROVEMENT, min_sources=8,
+            cold_weight=0.01,
+        ),
+    )
+    with service:
+        before, before_identical = _drive(service, queries, reference)
+        report = service.maybe_rebalance()
+        after, after_identical = _drive(service, queries, reference)
+        migrated_plan = service.plan
+
+    p99_before = float(np.percentile(before, 99))
+    p99_after = float(np.percentile(after, 99))
+    rows = [
+        {
+            "phase": "before (hot contiguous shard)",
+            "plan": "contiguous",
+            "p99_critical_seconds": round(p99_before, 5),
+            "mean_critical_seconds": round(float(np.mean(before)), 5),
+            "bitwise_identical": before_identical,
+        },
+        {
+            "phase": "after (load-balanced migration)",
+            "plan": migrated_plan.strategy,
+            "p99_critical_seconds": round(p99_after, 5),
+            "mean_critical_seconds": round(float(np.mean(after)), 5),
+            "bitwise_identical": after_identical,
+        },
+    ]
+    return {
+        "rows": rows,
+        "p99_improvement": p99_before / max(p99_after, 1e-9),
+        "rebalance_applied": bool(report["applied"]),
+        "estimated_improvement": report["estimate"]["predicted_improvement"],
+        "all_identical": before_identical and after_identical,
+        "graph_nodes": graph.n_nodes,
+        "graph_edges": graph.n_edges,
+        "num_shards": NUM_SHARDS,
+        "workers": WORKERS,
+        "n_queries": len(queries),
+        "n_batches": N_BATCHES,
+        "single_shard_seconds": round(single_seconds, 4),
+    }
+
+
+def _check_and_render(result) -> str:
+    from repro.bench import reporting
+
+    rendered = reporting.format_table(
+        result["rows"],
+        title=(f"Workload-adaptive rebalancing of {result['n_queries']} "
+               f"hot queries x {result['n_batches']} batches on a "
+               f"{result['graph_nodes']}-node graph "
+               f"({result['num_shards']} shards, {result['workers']} workers; "
+               "critical path = LPT makespan of per-shard scatter seconds)"),
+    )
+    assert result["rebalance_applied"], (
+        "the planner declined to migrate a clearly skewed workload"
+    )
+    assert result["all_identical"], (
+        "a migrated scatter diverged bitwise from the single-shard answers"
+    )
+    assert result["p99_improvement"] >= MIN_P99_IMPROVEMENT, (
+        f"p99 critical-path improvement is only "
+        f"{result['p99_improvement']:.2f}x (needs >= {MIN_P99_IMPROVEMENT}x)"
+    )
+    return rendered
+
+
+def test_rebalance(benchmark, results_dir):
+    from repro.bench import reporting
+
+    result = benchmark.pedantic(rebalance_experiment, rounds=1, iterations=1)
+    rendered = _check_and_render(result)
+    reporting.save_results("rebalance", result, rendered, results_dir)
+    print("\n" + rendered)
+
+
+if __name__ == "__main__":
+    from repro.bench import reporting
+
+    outcome = rebalance_experiment()
+    rendered = _check_and_render(outcome)
+    reporting.save_results("rebalance", outcome, rendered)
+    print(rendered)
+    print(f"p99 critical-path improvement: {outcome['p99_improvement']:.1f}x "
+          f"(estimated {outcome['estimated_improvement']:.1f}x), "
+          f"answers bitwise-identical: {outcome['all_identical']}")

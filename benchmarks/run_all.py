@@ -55,6 +55,7 @@ SERVING_GATES = {
     "parallel_serve": ("speedup_at_4", 2.0, "all_identical", bool),
     "zero_copy_serve": ("payload_reduction", 5.0, "all_identical", bool),
     "http_serve": ("qps_speedup", 2.0, "all_identical", bool),
+    "rebalance": ("p99_improvement", 1.5, "all_identical", bool),
 }
 
 #: Benchmark script name -> result-file stem, for tying a consolidation to

@@ -171,6 +171,22 @@ def _smoke_zero_copy_serve() -> Dict[str, Any]:
     return result
 
 
+def _smoke_rebalance() -> Dict[str, Any]:
+    module = _load("bench_rebalance.py")
+    with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=15,
+                  QUERY_WALKERS=60, NUM_SHARDS=3, HOT_SOURCES=8, N_TOPK=2,
+                  N_BATCHES=2):
+        result = module.rebalance_experiment()
+    # Bitwise identity and the planner's willingness to migrate a skewed
+    # trace are size-independent, so they ARE asserted at smoke size
+    # (unlike the timing-based p99 gate).
+    assert result["all_identical"], "rebalance smoke scatter diverged bitwise"
+    assert result["rebalance_applied"], (
+        "rebalance smoke planner declined a skewed trace"
+    )
+    return result
+
+
 def _smoke_sharded_build() -> Dict[str, Any]:
     module = _load("bench_sharded_build.py")
     with _patched(module, GRAPH_NODES=150, INDEX_WALKERS=20, WALK_STEPS=4,
@@ -233,6 +249,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_http_serve.py": _smoke_http_serve,
     "bench_incremental_service.py": _smoke_incremental_service,
     "bench_parallel_serve.py": _smoke_parallel_serve,
+    "bench_rebalance.py": _smoke_rebalance,
     "bench_service_throughput.py": _smoke_service_throughput,
     "bench_sharded_build.py": _smoke_sharded_build,
     "bench_table1_datasets.py": _smoke_table1,

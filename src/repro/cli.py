@@ -24,17 +24,25 @@ Examples
         --serve-backend threads --port 8080 --coalesce-window 0.002
     python -m repro update --graph graph.tsv --index index.npz \
         --edges new_edges.tsv --snapshot-dir snapshots/ --output index.npz
+    python -m repro rebalance --graph graph.tsv --snapshot-dir snapshots/ --force
     python -m repro snapshot list --dir snapshots/
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional, Tuple
 
-from repro.config import ServiceParams, ShardingParams, SimRankParams, UpdateParams
+from repro.config import (
+    RebalanceParams,
+    ServiceParams,
+    ShardingParams,
+    SimRankParams,
+    UpdateParams,
+)
 from repro.core.cloudwalker import CloudWalker
 from repro.core.index import DiagonalIndex, ShardedSnapshotStore, SnapshotStore
 from repro.errors import CloudWalkerError
@@ -112,6 +120,17 @@ def _sharding_from_args(args: argparse.Namespace) -> ShardingParams:
         backend=args.shard_backend,
         max_workers=args.shard_workers,
         resident_graph=getattr(args, "resident_graph", True),
+    )
+
+
+def _rebalance_from_args(args: argparse.Namespace) -> RebalanceParams:
+    """Build :class:`RebalanceParams` from the ``--rebalance-*`` args."""
+    defaults = RebalanceParams()
+    return RebalanceParams(
+        improvement_threshold=getattr(args, "rebalance_threshold",
+                                      defaults.improvement_threshold),
+        check_interval=getattr(args, "rebalance_interval",
+                               defaults.check_interval),
     )
 
 
@@ -305,6 +324,7 @@ def _make_service(args: argparse.Namespace):
         return ShardedQueryService.from_index_file(
             graph, args.index, service_params=service_params,
             sharding=_sharding_from_args(args),
+            rebalance_params=_rebalance_from_args(args),
         )
     return QueryService.from_index_file(
         graph, args.index, service_params=service_params
@@ -424,14 +444,19 @@ def _cmd_serve_http(args: argparse.Namespace, out) -> int:
     try:
         sharded = f" across {args.shards} shards" \
             if getattr(args, "shards", 1) > 1 else ""
+        auto = bool(getattr(args, "auto_rebalance", False)) \
+            and hasattr(service, "maybe_rebalance")
         print(f"serving SimRank queries over {service.graph.name!r} "
               f"({service.graph.n_nodes} nodes{sharded}) via HTTP; "
-              "POST /query, POST /update, GET /healthz|/version|/stats; "
-              "SIGTERM or Ctrl-C drains gracefully", file=out)
+              "POST /query, POST /update, POST /rebalance, "
+              "GET /healthz|/version|/stats; "
+              "SIGTERM or Ctrl-C drains gracefully"
+              + ("; auto-rebalance on" if auto else ""), file=out)
         server = HttpServiceServer(
             service, host=args.host, port=args.port,
             coalesce_window=args.coalesce_window,
             max_in_flight=args.max_in_flight,
+            auto_rebalance=auto,
         )
         try:
             server.run(out=out)
@@ -502,9 +527,10 @@ def _load_update_service(args: argparse.Namespace, update_params: UpdateParams,
             sharding=sharding,
         )
         if args.shards > 1 and args.shards != service.num_shards:
-            print(f"note: shard plans are immutable; keeping the directory's "
-                  f"{service.num_shards} shards (ignoring --shards "
-                  f"{args.shards})", file=out)
+            print(f"note: a lineage's shard count is immutable (assignments "
+                  f"migrate via 'rebalance', the count never does); keeping "
+                  f"the directory's {service.num_shards} shards (ignoring "
+                  f"--shards {args.shards})", file=out)
         return service, (f"sharded snapshot v{service.index_version} "
                          f"({service.num_shards} shards) in {args.snapshot_dir}")
     store = SnapshotStore(args.snapshot_dir, retain=args.retain) \
@@ -574,6 +600,53 @@ def _cmd_update(args: argparse.Namespace, out) -> int:
             io.write_edge_list(service.graph, args.output_graph)
             print(f"updated graph ({service.graph.n_edges} edges) written to "
                   f"{args.output_graph}", file=out)
+    finally:
+        service.close()
+    return 0
+
+
+def _cmd_rebalance(args: argparse.Namespace, out) -> int:
+    """Offline plan migration: re-balance a sharded lineage's assignment.
+
+    Loads the service exactly like ``update`` (snapshot directory first,
+    ``--index`` fallback), weights every node by its **in-degree** — the
+    structural stand-in for query load available offline (a node's scatter
+    and ranking cost scales with how much of the graph points at it) —
+    and migrates when the cost model clears the threshold (or always,
+    under ``--force``).  A migration into ``--snapshot-dir`` persists the
+    new governing plan alongside the re-sliced shard systems, so the next
+    ``serve-http``/``update`` against the directory serves the new plan;
+    answers are bitwise-unchanged either way.
+    """
+    graph = _load_graph(args)
+    update_params = UpdateParams(
+        snapshot_dir=args.snapshot_dir or None,
+        snapshot_retain=args.retain,
+    )
+    service, source = _load_update_service(args, update_params, graph, out)
+    try:
+        if not hasattr(service, "rebalance"):
+            raise CloudWalkerError(
+                "rebalance needs a sharded service; this lineage is "
+                "single-shard (build one with --shards K)"
+            )
+        service.rebalance_params = service.rebalance_params.with_(
+            improvement_threshold=args.rebalance_threshold,
+            # Offline weights are structural, not observed-query counters,
+            # so the representativeness minimum does not apply.
+            min_sources=0,
+        )
+        weights = graph.in_degrees().astype(float)
+        print(f"loaded {source}", file=out)
+        start = time.perf_counter()
+        report = service.rebalance(node_loads=weights, force=args.force)
+        elapsed = time.perf_counter() - start
+        print(json.dumps(report, indent=2, sort_keys=True), file=out)
+        if report["applied"]:
+            print(f"migrated to plan generation {report['plan_generation']} "
+                  f"in {elapsed:.2f}s (answers unchanged)", file=out)
+        else:
+            print(f"no migration: {report['reason']}", file=out)
     finally:
         service.close()
     return 0
@@ -752,6 +825,50 @@ def build_parser() -> argparse.ArgumentParser:
                             default=service_defaults.max_in_flight,
                             help="admitted-but-unanswered query bound before "
                                  "503s (default: %(default)s)")
+    rebalance_defaults = RebalanceParams()
+    serve_http.add_argument("--auto-rebalance", dest="auto_rebalance",
+                            action=argparse.BooleanOptionalAction,
+                            default=False,
+                            help="periodically migrate to a better-balanced "
+                                 "shard plan when the observed query load "
+                                 "justifies it; needs --shards > 1 "
+                                 "(default: %(default)s)")
+    serve_http.add_argument("--rebalance-threshold",
+                            dest="rebalance_threshold", type=float,
+                            default=rebalance_defaults.improvement_threshold,
+                            help="minimum predicted critical-path improvement "
+                                 "(x) before an auto-rebalance migrates "
+                                 "(default: %(default)s)")
+    serve_http.add_argument("--rebalance-interval", dest="rebalance_interval",
+                            type=float,
+                            default=rebalance_defaults.check_interval,
+                            help="seconds between auto-rebalance checks "
+                                 "(default: %(default)s)")
+
+    rebalance = subparsers.add_parser(
+        "rebalance",
+        help="migrate a sharded snapshot lineage to a load-balanced shard "
+             "plan (offline; answers are bitwise-unchanged)",
+    )
+    _add_graph_arguments(rebalance)
+    _add_sharding_arguments(rebalance)
+    rebalance.add_argument("--snapshot-dir", dest="snapshot_dir",
+                           help="sharded snapshot lineage to migrate and "
+                                "write the new plan generation into")
+    rebalance.add_argument("--index",
+                           help="index .npz fallback when --snapshot-dir has "
+                                "no consistent snapshot yet")
+    rebalance.add_argument("--retain", type=int,
+                           default=UpdateParams().snapshot_retain,
+                           help="snapshot versions to keep (default: "
+                                "%(default)s)")
+    rebalance.add_argument("--rebalance-threshold",
+                           dest="rebalance_threshold", type=float,
+                           default=rebalance_defaults.improvement_threshold,
+                           help="minimum predicted critical-path improvement "
+                                "(x) before migrating (default: %(default)s)")
+    rebalance.add_argument("--force", action="store_true",
+                           help="migrate even below the improvement threshold")
 
     update = subparsers.add_parser(
         "update",
@@ -799,6 +916,7 @@ _COMMANDS = {
     "query-batch": _cmd_query_batch,
     "serve": _cmd_serve,
     "serve-http": _cmd_serve_http,
+    "rebalance": _cmd_rebalance,
     "update": _cmd_update,
     "snapshot": _cmd_snapshot,
 }

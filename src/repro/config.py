@@ -20,6 +20,12 @@ The dataclasses defined here:
     to them, and which executor backend builds them concurrently (see
     :mod:`repro.core.sharding` and :mod:`repro.service.sharded`).
 
+:class:`RebalanceParams`
+    Knobs of workload-adaptive shard rebalancing: when the sharded
+    service's observed per-shard load skew justifies migrating to a new
+    :class:`~repro.graph.partition.ShardPlan` (see
+    :mod:`repro.service.sharded`).
+
 :class:`ClusterSpec`
     A description of the (simulated) cluster used by the engine's cost
     model.  The paper's testbed was 10 machines, each with 16 cores, 377 GB
@@ -422,6 +428,81 @@ class ShardingParams:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ShardingParams":
+        """Reconstruct parameters from :meth:`to_dict` output."""
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RebalanceParams:
+    """Knobs of workload-adaptive shard rebalancing.
+
+    The sharded service keeps per-shard load counters (sources routed,
+    scatter/ranking seconds); the rebalance planner
+    (:func:`repro.graph.partition.load_balanced_plan` +
+    :func:`repro.engine.cost_model.evaluate_rebalance`) turns them into a
+    proposed :class:`~repro.graph.partition.ShardPlan` and a
+    should-we-migrate decision.  These parameters bound when a proposal is
+    adopted — the migration itself never changes answers (bitwise-identical
+    across the flip), only the shard placement the scatter fans over.
+
+    Attributes
+    ----------
+    improvement_threshold:
+        Minimum predicted critical-path improvement (current max shard
+        load / proposed max shard load) before a migration is worth its
+        one-off cost.  ``1.2`` = only migrate for a predicted 20%+ win.
+    min_sources:
+        Minimum number of observed routed sources before the counters are
+        considered representative; below it ``maybe_rebalance`` declines.
+    cold_weight:
+        Load attributed to every node with no observed traffic, in units
+        of one routed source.  Keeps never-queried nodes spread across
+        shards instead of piling onto one, and damps overfitting to a
+        short observation window.
+    check_interval:
+        Seconds between automatic rebalance checks when the HTTP tier
+        runs with ``--auto-rebalance``.
+    """
+
+    improvement_threshold: float = 1.2
+    min_sources: int = 16
+    cold_weight: float = 1.0
+    check_interval: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.improvement_threshold < 1.0:
+            raise ConfigurationError(
+                f"improvement_threshold must be >= 1.0, "
+                f"got {self.improvement_threshold}"
+            )
+        if self.min_sources < 0:
+            raise ConfigurationError(
+                f"min_sources must be >= 0, got {self.min_sources}"
+            )
+        if self.cold_weight < 0:
+            raise ConfigurationError(
+                f"cold_weight must be >= 0, got {self.cold_weight}"
+            )
+        if self.check_interval <= 0:
+            raise ConfigurationError(
+                f"check_interval must be > 0, got {self.check_interval}"
+            )
+
+    def with_(self, **changes: Any) -> "RebalanceParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict representation (used by service stats)."""
+        return {
+            "improvement_threshold": self.improvement_threshold,
+            "min_sources": self.min_sources,
+            "cold_weight": self.cold_weight,
+            "check_interval": self.check_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RebalanceParams":
         """Reconstruct parameters from :meth:`to_dict` output."""
         return cls(**data)
 

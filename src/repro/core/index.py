@@ -504,10 +504,12 @@ class ShardedSnapshotStore:
     Layout of a sharded snapshot directory::
 
         <directory>/
-            shard_plan.json     # the ShardPlan, written once, immutable
-            shard-00/           # a plain SnapshotStore per shard:
-                index-v*.npz    #   the (global) diagonal index
-                system-v*.npz   #   ONLY this shard's rows of the system
+            shard_plan.json         # the lineage's base ShardPlan
+            shard_plan-v*.json      # plan generations: the plan effective
+                                    #   FROM that snapshot version on
+            shard-00/               # a plain SnapshotStore per shard:
+                index-v*.npz        #   the (global) diagonal index
+                system-v*.npz       #   ONLY this shard's rows of the system
             shard-01/
             ...
 
@@ -519,9 +521,23 @@ class ShardedSnapshotStore:
     version on load.  The partial files are ignored by every load, replaced
     (never adopted) if a later save reuses their version number, and
     eventually dropped by retention pruning.
+
+    **Plan generations.**  A live rebalance changes the shard plan without
+    starting a new lineage: the save that first uses a new plan also writes
+    ``shard_plan-v{version}.json``, and the plan *governing* a version is
+    the newest generation at or before it (the base ``shard_plan.json``
+    when none is).  The shard *count* stays immutable per directory — only
+    the node-to-shard assignment migrates — so the consistency intersection
+    is well-defined across generations.  A version whose governing plan
+    file is corrupt is excluded from :meth:`versions`, rolling loads back
+    to the last version with a readable plan; the per-shard system blocks
+    sum to the same full system under any plan, so a rollback (or a crash
+    between the plan write and the shard writes) can never change answers,
+    only which placement serves them.
     """
 
     PLAN_FILE = "shard_plan.json"
+    _PLAN_PATTERN = re.compile(r"^shard_plan-v(\d{8})\.json$")
 
     def __init__(self, directory: PathLike, retain: int = 5) -> None:
         self.directory = Path(directory)
@@ -538,45 +554,110 @@ class ShardedSnapshotStore:
         return SnapshotStore(self.directory / f"shard-{shard:02d}",
                              retain=self.retain)
 
-    def load_plan(self) -> ShardPlan:
-        """Load the persisted :class:`ShardPlan` (raises if absent)."""
-        path = self.directory / self.PLAN_FILE
+    def plan_path(self, version: int) -> Path:
+        """Path of the plan-generation file effective from ``version`` on."""
+        return self.directory / f"shard_plan-v{version:08d}.json"
+
+    def plan_generation_versions(self) -> List[int]:
+        """Snapshot versions at which a new plan generation took effect."""
+        if not self.directory.exists():
+            return []
+        found = []
+        for path in self.directory.iterdir():
+            match = self._PLAN_PATTERN.match(path.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def _governing_plan_path(self, version: int) -> Path:
+        """File holding the plan that governs snapshot ``version``."""
+        generations = [gen for gen in self.plan_generation_versions()
+                       if gen <= version]
+        if generations:
+            return self.plan_path(max(generations))
+        return self.directory / self.PLAN_FILE
+
+    def _load_plan_file(self, path: Path) -> ShardPlan:
         try:
             return ShardPlan.from_dict(json.loads(path.read_text(encoding="utf-8")))
         except (OSError, ValueError, KeyError) as exc:
             raise CloudWalkerError(f"cannot load shard plan from {path}: {exc}") from exc
 
-    def _save_plan(self, plan: ShardPlan) -> None:
-        path = self.directory / self.PLAN_FILE
-        if path.exists():
-            existing = self.load_plan()
-            if existing != plan:
-                raise CloudWalkerError(
-                    f"snapshot directory {self.directory} was created with a "
-                    f"different shard plan ({existing!r} != {plan!r}); shard "
-                    "plans are immutable — re-shard into a fresh directory"
-                )
+    def load_plan(self, version: Optional[int] = None) -> ShardPlan:
+        """Load the :class:`ShardPlan` governing ``version``.
+
+        Without a version: the plan governing the newest consistent
+        snapshot, or the base plan for a store with no consistent version
+        yet.  Raises :class:`~repro.errors.CloudWalkerError` when the
+        governing plan file is absent or corrupt.
+        """
+        if version is None:
+            version = self.latest_version()
+            if version is None:
+                return self._load_plan_file(self.directory / self.PLAN_FILE)
+        return self._load_plan_file(self._governing_plan_path(version))
+
+    def _save_plan(self, plan: ShardPlan, version: int) -> None:
+        """Record ``plan`` as the one governing snapshots from ``version``.
+
+        First save of the lineage writes the base ``shard_plan.json``.
+        Later saves compare against the plan governing the versions
+        *before* this one: an unchanged plan writes nothing (and removes a
+        crashed save's same-version generation debris, which may describe
+        a plan that was never adopted); a changed plan — a rebalance —
+        writes a new generation file at ``version``.  The shard count is
+        immutable per directory either way.
+        """
+        base = self.directory / self.PLAN_FILE
+
+        def writer(handle) -> None:
+            handle.write(json.dumps(plan.to_dict(), indent=2).encode("utf-8"))
+
+        if not base.exists():
+            self.directory.mkdir(parents=True, exist_ok=True)
+            atomic_write(base, writer)
             return
-        self.directory.mkdir(parents=True, exist_ok=True)
-        atomic_write(
-            path,
-            lambda handle: handle.write(
-                json.dumps(plan.to_dict(), indent=2).encode("utf-8")
-            ),
-        )
+        effective = self._load_plan_file(self._governing_plan_path(version - 1))
+        if effective == plan:
+            with contextlib.suppress(OSError):
+                self.plan_path(version).unlink()
+            return
+        if effective.num_shards != plan.num_shards:
+            raise CloudWalkerError(
+                f"snapshot directory {self.directory} holds a "
+                f"{effective.num_shards}-shard lineage; the shard count is "
+                f"immutable per directory (got a {plan.num_shards}-shard "
+                "plan) — re-shard into a fresh directory"
+            )
+        atomic_write(self.plan_path(version), writer)
 
     # ------------------------------------------------------------------ #
     def versions(self) -> List[int]:
-        """Versions present in *every* shard store (consistent snapshots)."""
+        """Versions present in *every* shard store (consistent snapshots).
+
+        A version whose governing plan file does not load is excluded:
+        a crash (or corruption) that damaged a new plan generation rolls
+        the store back to the last version with a readable plan.
+        """
         plan_path = self.directory / self.PLAN_FILE
         if not plan_path.exists():
             return []
-        plan = self.load_plan()
+        plan = self._load_plan_file(plan_path)
         common: Optional[set] = None
         for shard in range(plan.num_shards):
             present = set(self.shard_store(shard).versions())
             common = present if common is None else common & present
-        return sorted(common or ())
+        return sorted(
+            version for version in (common or ())
+            if self._plan_loadable(version)
+        )
+
+    def _plan_loadable(self, version: int) -> bool:
+        try:
+            self._load_plan_file(self._governing_plan_path(version))
+            return True
+        except CloudWalkerError:
+            return False
 
     def latest_version(self) -> Optional[int]:
         """Newest consistent version, or None for an empty store."""
@@ -591,19 +672,25 @@ class ShardedSnapshotStore:
     ) -> int:
         """Persist one consistent sharded snapshot; returns its version.
 
-        Writes the plan (first call only), then every shard's store: the
-        global diagonal index plus, when ``shard_systems`` is given, that
-        shard's system block.  ``version`` defaults to ``latest + 1``.
-        A shard already holding ``version`` is skipped only when that
-        version is *consistent* (present in every shard) — a genuine
-        re-save no-op.  A shard file at ``version`` that is not consistent
-        is the debris of a crashed earlier save and may describe different
-        data, so it is replaced, never adopted into the new snapshot.
+        Writes the plan (the base file on the first save; a new
+        generation file when the plan changed — a rebalance), then every
+        shard's store: the global diagonal index plus, when
+        ``shard_systems`` is given, that shard's system block.
+        ``version`` defaults to ``latest + 1``.  The plan lands *before*
+        the shard files on purpose: a crash in between leaves ``version``
+        inconsistent, so loads roll back to the previous version under its
+        own plan and the orphaned generation is replaced (or removed) by
+        the next save.  A shard already holding ``version`` is skipped
+        only when that version is *consistent* (present in every shard) —
+        a genuine re-save no-op.  A shard file at ``version`` that is not
+        consistent is the debris of a crashed earlier save and may
+        describe different data, so it is replaced, never adopted into the
+        new snapshot.
         """
-        self._save_plan(sharded.plan)
         consistent = set(self.versions())
         if version is None:
             version = (max(consistent) if consistent else 0) + 1
+        self._save_plan(sharded.plan, version)
         for shard in range(sharded.num_shards):
             store = self.shard_store(shard)
             if store.latest_version() == version:
@@ -622,11 +709,13 @@ class ShardedSnapshotStore:
     ) -> Tuple[int, ShardedIndex, Optional[sparse.csr_matrix]]:
         """Load a consistent snapshot as ``(version, sharded_index, system)``.
 
-        ``version`` defaults to the newest consistent one.  The returned
-        system is the gather (sum) of the per-shard blocks — bitwise-equal
-        to the system the writing service maintained — or None when any
-        shard was saved without its block (callers then re-estimate, just
-        like attaching to a plain index file).
+        ``version`` defaults to the newest consistent one.  The plan is
+        the one *governing* that version (a lineage that rebalanced loads
+        older versions under their original plan).  The returned system is
+        the gather (sum) of the per-shard blocks — bitwise-equal to the
+        system the writing service maintained — or None when any shard
+        was saved without its block (callers then re-estimate, just like
+        attaching to a plain index file).
         """
         if version is None:
             version = self.latest_version()
@@ -639,7 +728,7 @@ class ShardedSnapshotStore:
                 f"version {version} is not a consistent snapshot in "
                 f"{self.directory} (have {self.versions()})"
             )
-        plan = self.load_plan()
+        plan = self.load_plan(version)
         index = self.shard_store(0).load(version)
         system: Optional[sparse.csr_matrix] = None
         blocks: List[sparse.csr_matrix] = []
@@ -661,10 +750,27 @@ class ShardedSnapshotStore:
         return version, sharded, system
 
     def prune(self, retain: Optional[int] = None) -> None:
-        """Prune every shard store to the newest ``retain`` versions."""
-        plan = self.load_plan()
+        """Prune every shard store to the newest ``retain`` versions.
+
+        Plan-generation files that no longer govern any remaining version
+        are removed with the snapshots that needed them; the base plan and
+        any generation newer than the newest consistent version (an
+        in-flight save) are always kept.
+        """
+        plan = self._load_plan_file(self.directory / self.PLAN_FILE)
         for shard in range(plan.num_shards):
             self.shard_store(shard).prune(retain)
+        remaining = self.versions()
+        generations = self.plan_generation_versions()
+        governing = set()
+        for version in remaining:
+            effective = [gen for gen in generations if gen <= version]
+            if effective:
+                governing.add(max(effective))
+        for gen in generations:
+            if gen not in governing and remaining and gen <= max(remaining):
+                with contextlib.suppress(OSError):
+                    self.plan_path(gen).unlink()
 
     def __repr__(self) -> str:
         return (

@@ -154,6 +154,24 @@ def gather_shard_rows(
     )
 
 
+def slice_shard_block(
+    system: sparse.csr_matrix, mask: np.ndarray
+) -> sparse.csr_matrix:
+    """Row-slice ``system`` to the rows selected by the boolean ``mask``.
+
+    The block keeps the full ``n x n`` shape with unselected rows empty, so
+    blocks from *any* partition of the rows sum back to the full system —
+    which is why a snapshot lineage can change shard plans between versions
+    without perturbing a single bit of the gathered system.  Module-level
+    so the ``processes`` executor backend can pickle migration slice tasks.
+    """
+    keep = sparse.diags(np.asarray(mask, dtype=np.float64))
+    block = (keep @ system).tocsr()
+    block.eliminate_zeros()
+    block.sort_indices()
+    return block
+
+
 class ShardedIncrementalWalker(IncrementalCloudWalker):
     """A :class:`~repro.core.incremental.IncrementalCloudWalker` whose row
     estimation fans out across shards.
@@ -224,6 +242,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         self.backend = backend or SerialBackend()
         self.resident = resident
         self.shard_build_seconds: Dict[int, float] = {}
+        self.shard_slice_seconds: Dict[int, float] = {}
         self.last_touched_shards: frozenset = frozenset()
 
     @classmethod
@@ -279,26 +298,63 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             [outcomes[shard][0] for shard in sorted(outcomes)], graph.n_nodes
         )
 
-    def shard_systems(self) -> List[sparse.csr_matrix]:
+    def with_plan(self, plan: ShardPlan) -> "ShardedIncrementalWalker":
+        """Return a walker maintaining the same system under a new plan.
+
+        This is the build half of a live rebalance: the clone shares the
+        graph, parameters and executor backend, and *adopts* the current
+        linear system and index via :meth:`attach` — no re-estimation, no
+        solve, and therefore no way for the migration to perturb answers.
+        Only the row-to-shard grouping of future updates (and the
+        :meth:`shard_systems` slicing) changes.
+        """
+        if self._system is None or self.index is None:
+            raise ConfigurationError(
+                "call build() or attach() before with_plan()"
+            )
+        clone = ShardedIncrementalWalker(
+            self.graph, plan, params=self.params, exact=self.exact,
+            backend=self.backend, resident=self.resident,
+        )
+        clone.attach(self.index, system=self._system)
+        return clone
+
+    def shard_systems(
+        self, backend: Optional[ExecutorBackend] = None
+    ) -> List[sparse.csr_matrix]:
         """Row-slice the maintained system into per-shard blocks.
 
         Block ``k`` is an ``n x n`` CSR holding exactly shard ``k``'s rows
         (other rows empty); summing the blocks reproduces the full system.
         Used by sharded snapshots, which persist one block per shard
         directory (see :class:`repro.core.index.ShardedSnapshotStore`).
+
+        With a ``backend`` the per-shard slices run as one task per shard
+        through :func:`run_shard_tasks` (the migration path fans the new
+        plan's blocks out this way, recording per-shard timings in
+        :attr:`shard_slice_seconds`); without one they run serially
+        in-process.  The blocks are identical either way — slicing is
+        deterministic and shards are independent.
         """
         if self._system is None:
             raise ConfigurationError("call build() or attach() before shard_systems()")
         n = self._system.shape[0]
         assignment = self.plan.assign(n)
-        blocks: List[sparse.csr_matrix] = []
-        for shard in range(self.plan.num_shards):
-            keep = sparse.diags((assignment == shard).astype(np.float64))
-            block = (keep @ self._system).tocsr()
-            block.eliminate_zeros()
-            block.sort_indices()
-            blocks.append(block)
-        return blocks
+        if backend is not None:
+            tasks = {
+                shard: partial(slice_shard_block, self._system,
+                               assignment == shard)
+                for shard in range(self.plan.num_shards)
+            }
+            outcomes = run_shard_tasks(backend, tasks)
+            self.shard_slice_seconds = {
+                shard: seconds for shard, (_block, seconds) in outcomes.items()
+            }
+            return [outcomes[shard][0] for shard in range(self.plan.num_shards)]
+        return [
+            slice_shard_block(self._system, assignment == shard)
+            for shard in range(self.plan.num_shards)
+        ]
 
     def __repr__(self) -> str:
         return (

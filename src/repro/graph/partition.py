@@ -362,3 +362,58 @@ def imbalance(loads: Sequence[float]) -> float:
     if arr.size == 0 or arr.mean() == 0:
         return 1.0
     return float(arr.max() / arr.mean())
+
+
+def shard_loads(plan: ShardPlan, n_nodes: int,
+                weights: np.ndarray) -> np.ndarray:
+    """Per-shard load of ``plan`` under per-node ``weights``.
+
+    ``weights[node]`` is the observed (or predicted) cost of serving
+    ``node`` — e.g. routed-source counts or scatter seconds attributed to
+    it.  The result is the float64 sum of weights per shard, the quantity
+    :func:`repro.engine.cost_model.evaluate_rebalance` compares between
+    the current and a proposed plan.
+    """
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if len(weights) != n_nodes:
+        raise ConfigurationError(
+            f"weights must have one entry per node ({n_nodes}), "
+            f"got {len(weights)}"
+        )
+    return np.bincount(plan.assign(n_nodes), weights=weights,
+                       minlength=plan.num_shards).astype(np.float64)
+
+
+def load_balanced_plan(num_shards: int, weights: np.ndarray) -> ShardPlan:
+    """Propose a plan balancing observed per-node load across shards.
+
+    The workload-adaptive analogue of :class:`EdgeBalancedPartitioner`
+    (and of Tunable-LSH's adaptive re-clustering): nodes are visited in
+    decreasing *observed-load* order and each is assigned to the shard
+    with the least accumulated load so far (longest-processing-time
+    heuristic, within 4/3 of optimal makespan).  The result is an
+    explicit-assignment (``partitioner``-strategy) :class:`ShardPlan`, so
+    node ids beyond the observed range fall back to the hash rule —
+    routing stays total under live growth.
+
+    Deterministic: ties in load order break by node id (stable argsort),
+    ties in shard load break by shard id (``np.argmin``), so every
+    replica proposing from the same counters proposes the same plan.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    weights = np.asarray(weights, dtype=np.float64).ravel()
+    if len(weights) == 0:
+        raise ConfigurationError("weights array must be non-empty")
+    if not np.all(np.isfinite(weights)) or weights.min() < 0:
+        raise ConfigurationError(
+            "weights must be finite and >= 0 to plan a rebalance"
+        )
+    order = np.argsort(-weights, kind="stable")
+    loads = np.zeros(num_shards, dtype=np.float64)
+    assignment = np.zeros(len(weights), dtype=np.int64)
+    for node in order:
+        target = int(np.argmin(loads))
+        assignment[node] = target
+        loads[target] += weights[node]
+    return ShardPlan(num_shards, strategy="partitioner", assignment=assignment)

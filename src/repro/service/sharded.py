@@ -65,7 +65,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.config import ServiceParams, ShardingParams, SimRankParams, UpdateParams
+from repro.config import (
+    RebalanceParams,
+    ServiceParams,
+    ShardingParams,
+    SimRankParams,
+    UpdateParams,
+)
 from repro.core import montecarlo
 from repro.core.index import (
     DiagonalIndex,
@@ -78,10 +84,11 @@ from repro.core.sharding import (
     make_plan,
     run_shard_tasks,
 )
+from repro.engine.cost_model import RebalanceEstimate, evaluate_rebalance
 from repro.engine.executor import ResidentHandle, make_backend, resolve_resident
 from repro.errors import CloudWalkerError
 from repro.graph.digraph import DiGraph
-from repro.graph.partition import ShardPlan
+from repro.graph.partition import ShardPlan, load_balanced_plan, shard_loads
 from repro.service.batching import (
     BatchPlan,
     Query,
@@ -198,6 +205,9 @@ class ShardedQueryService(QueryService):
     plan:
         An explicit node-to-shard assignment, overriding ``sharding``'s
         strategy.
+    rebalance_params:
+        Knobs of workload-adaptive rebalancing (improvement threshold,
+        representativeness minimum, cold weight); see :meth:`rebalance`.
 
     Attributes
     ----------
@@ -208,9 +218,19 @@ class ShardedQueryService(QueryService):
         shard_build_seconds`.  Reset on every batch; empty when the batch
         was fully served from the caches.  The parallel-serve benchmark
         accounts a ``W``-worker deployment's critical path from these.
+    last_rank_seconds:
+        Wall-clock of each shard's top-k ranking tasks in the most recent
+        batch, accumulated per shard across the batch's top-k queries.
+        Reset on every batch alongside ``last_scatter_seconds`` — the two
+        together cover every per-shard task the batch scattered, which is
+        the accounting identity the rebalance planner's cumulative
+        counters are built on (a fully cached batch scatters no
+        simulation, so ``last_scatter_seconds`` stays empty while ranking
+        time still lands here).
     """
 
     last_scatter_seconds: Dict[int, float]
+    last_rank_seconds: Dict[int, float]
 
     def __init__(
         self,
@@ -221,6 +241,7 @@ class ShardedQueryService(QueryService):
         update_params: Optional[UpdateParams] = None,
         sharding: Optional[ShardingParams] = None,
         plan: Optional[ShardPlan] = None,
+        rebalance_params: Optional[RebalanceParams] = None,
     ) -> None:
         if isinstance(index, ShardedIndex):
             plan = index.plan if plan is None else plan
@@ -237,6 +258,7 @@ class ShardedQueryService(QueryService):
                 f"{self.sharding.num_shards}"
             )
         self.plan = plan
+        self.rebalance_params = rebalance_params or RebalanceParams()
         super().__init__(graph, index, params=params,
                          service_params=service_params,
                          update_params=update_params)
@@ -244,20 +266,16 @@ class ShardedQueryService(QueryService):
         # `self.cache` stays None so any accidental single-cache use fails
         # loudly instead of silently bypassing the routing layer.
         self.cache = None
-        self.shard_caches: List[WalkDistributionCache] = [
-            WalkDistributionCache(self.service_params.cache_capacity)
-            for _ in range(self.plan.num_shards)
-        ]
+        self._fresh_shard_state()
         self.sharded_index = ShardedIndex(
             index=self.index, plan=self.plan,
             shard_versions=shard_versions or [self._version] * self.plan.num_shards,
         )
-        self._shard_counters: List[Dict[str, int]] = [
-            {"edges_routed": 0, "sources_simulated": 0}
-            for _ in range(self.plan.num_shards)
-        ]
-        self._shard_nodes_cache: Optional[List[np.ndarray]] = None
-        self._shard_nodes_n = -1
+        # Per-node observed query load (routed sources), the planner's
+        # input.  Node-keyed, so it survives plan migrations unchanged.
+        self._node_loads: Dict[int, float] = {}
+        self._plan_generation = 1
+        self._counters["rebalances_applied"] = 0
         # Two reentrant locks with a strict acquisition order —
         # ``_update_lock`` before ``_lock``, never the reverse:
         #
@@ -277,6 +295,30 @@ class ShardedQueryService(QueryService):
             max_workers=self.service_params.serve_workers,
         )
         self.last_scatter_seconds: Dict[int, float] = {}
+        self.last_rank_seconds: Dict[int, float] = {}
+
+    def _fresh_shard_state(self) -> None:
+        """(Re)create the per-shard serving state for the current plan.
+
+        Called at construction and at the atomic flip of a plan migration:
+        per-shard caches start empty (ownership moved, and the plan-keyed
+        cache routing must never serve a source from a shard that no
+        longer owns it), per-shard counters restart (they describe load
+        *under this plan*), and the owned-node cache is dropped — the next
+        batch builds a new owned-nodes list, which is a new object and
+        therefore a new epoch in the serve backend's resident registry.
+        """
+        self.shard_caches: List[WalkDistributionCache] = [
+            WalkDistributionCache(self.service_params.cache_capacity)
+            for _ in range(self.plan.num_shards)
+        ]
+        self._shard_counters: List[Dict[str, Any]] = [
+            {"edges_routed": 0, "sources_simulated": 0, "sources_routed": 0,
+             "scatter_seconds": 0.0, "rank_seconds": 0.0}
+            for _ in range(self.plan.num_shards)
+        ]
+        self._shard_nodes_cache: Optional[List[np.ndarray]] = None
+        self._shard_nodes_n = -1
 
     # ------------------------------------------------------------------ #
     # Cold start
@@ -289,6 +331,7 @@ class ShardedQueryService(QueryService):
         service_params: Optional[ServiceParams] = None,
         update_params: Optional[UpdateParams] = None,
         sharding: Optional[ShardingParams] = None,
+        rebalance_params: Optional[RebalanceParams] = None,
     ) -> "ShardedQueryService":
         """Build the index shard-by-shard (concurrently) and serve it.
 
@@ -313,7 +356,8 @@ class ShardedQueryService(QueryService):
         index = mutator.build()
         service = cls(graph, index, params=params,
                       service_params=service_params,
-                      update_params=update_params, sharding=sharding, plan=plan)
+                      update_params=update_params, sharding=sharding, plan=plan,
+                      rebalance_params=rebalance_params)
         service._mutator = mutator
         return service
 
@@ -327,6 +371,7 @@ class ShardedQueryService(QueryService):
         update_params: Optional[UpdateParams] = None,
         sharding: Optional[ShardingParams] = None,
         plan: Optional[ShardPlan] = None,
+        rebalance_params: Optional[RebalanceParams] = None,
     ) -> "ShardedQueryService":
         """Cold-start a sharded service from a persisted plain index.
 
@@ -339,7 +384,8 @@ class ShardedQueryService(QueryService):
         """
         index = DiagonalIndex.load(path)
         return cls(graph, index, params=params, service_params=service_params,
-                   update_params=update_params, sharding=sharding, plan=plan)
+                   update_params=update_params, sharding=sharding, plan=plan,
+                   rebalance_params=rebalance_params)
 
     @classmethod
     def from_snapshot(
@@ -350,15 +396,17 @@ class ShardedQueryService(QueryService):
         service_params: Optional[ServiceParams] = None,
         update_params: Optional[UpdateParams] = None,
         sharding: Optional[ShardingParams] = None,
+        rebalance_params: Optional[RebalanceParams] = None,
     ) -> "ShardedQueryService":
         """Cold-start from the newest *consistent* sharded snapshot.
 
-        Restores the persisted plan, the broadcast diagonal and — when
-        every shard saved its system block — the gathered linear system, so
-        the restarted service resumes incremental updates without
-        re-estimating anything.  ``sharding`` supplies only the executor
-        backend; the shard count and assignment always come from the
-        snapshot's immutable plan.
+        Restores the plan governing that snapshot (a lineage that
+        rebalanced serves under its newest adopted plan), the broadcast
+        diagonal and — when every shard saved its system block — the
+        gathered linear system, so the restarted service resumes
+        incremental updates without re-estimating anything.  ``sharding``
+        supplies only the executor backend; the shard count and assignment
+        always come from the snapshot's persisted plan.
         """
         update_params = update_params or UpdateParams()
         sharding = sharding or ShardingParams()
@@ -369,7 +417,8 @@ class ShardedQueryService(QueryService):
                       sharding=sharding.with_(
                           num_shards=sharded_index.plan.num_shards,
                           strategy=sharded_index.plan.strategy,
-                      ))
+                      ),
+                      rebalance_params=rebalance_params)
         service._version = version
         service.sharded_index.shard_versions = [version] * service.num_shards
         if system is not None:
@@ -605,6 +654,188 @@ class ShardedQueryService(QueryService):
             return self._version, str(store.directory)
 
     # ------------------------------------------------------------------ #
+    # Workload-adaptive rebalancing
+    # ------------------------------------------------------------------ #
+    def _load_weights(self, node_loads: Optional[Union[Dict[int, float],
+                                                       Sequence[float]]] = None
+                      ) -> np.ndarray:
+        """Per-node planner weights: cold weight plus observed query load.
+
+        Every node carries ``RebalanceParams.cold_weight`` (a never-queried
+        node still costs its shard index rows and ranking work), plus the
+        observed routed-source counts — the service's own ``_node_loads``
+        by default, or a caller-supplied dict/array (e.g. structural
+        weights for an offline re-plan).  Must be called under ``_lock``
+        when reading the live counters.
+        """
+        n = self.graph.n_nodes
+        weights = np.full(n, self.rebalance_params.cold_weight, dtype=np.float64)
+        observed = self._node_loads if node_loads is None else node_loads
+        if isinstance(observed, dict):
+            for node, load in observed.items():
+                if 0 <= int(node) < n:
+                    weights[int(node)] += float(load)
+        else:
+            arr = np.asarray(observed, dtype=np.float64)
+            if arr.shape != (n,):
+                raise CloudWalkerError(
+                    f"node_loads must have one entry per node ({n}), "
+                    f"got shape {arr.shape}"
+                )
+            weights += arr
+        return weights
+
+    def plan_rebalance(
+        self,
+        node_loads: Optional[Union[Dict[int, float], Sequence[float]]] = None,
+    ) -> Tuple[ShardPlan, RebalanceEstimate]:
+        """Propose a plan for the observed load, without migrating.
+
+        Greedy LPT over the per-node weights
+        (:func:`repro.graph.partition.load_balanced_plan`), evaluated
+        against the serving plan with the critical-path cost model
+        (:func:`repro.engine.cost_model.evaluate_rebalance`).  Read-only:
+        returns ``(proposal, estimate)`` and changes nothing, so it is
+        safe to call from monitoring paths at any time.
+        """
+        with self._lock:
+            n = self.graph.n_nodes
+            weights = self._load_weights(node_loads)
+            current_plan = self.plan
+        proposal = load_balanced_plan(self.num_shards, weights)
+        estimate = evaluate_rebalance(
+            shard_loads(current_plan, n, weights),
+            shard_loads(proposal, n, weights),
+            improvement_threshold=self.rebalance_params.improvement_threshold,
+            min_total_load=(self.rebalance_params.min_sources
+                            + n * self.rebalance_params.cold_weight),
+        )
+        return proposal, estimate
+
+    def rebalance(
+        self,
+        plan: Optional[ShardPlan] = None,
+        node_loads: Optional[Union[Dict[int, float], Sequence[float]]] = None,
+        force: bool = False,
+    ) -> Dict[str, Any]:
+        """Migrate to a better-balanced plan, live, without wrong answers.
+
+        The migration protocol, in order:
+
+        1. **Drain** the deferred-update queue (the whole migration holds
+           the update lock, so no new edges can slip into the mutator that
+           is about to be replaced — ``add_edges`` blocks until the flip).
+        2. **Plan**: propose via :meth:`plan_rebalance` (or adopt the
+           caller's ``plan``, which must keep the shard count) and
+           evaluate it.  Unless ``force``, a proposal that does not clear
+           ``RebalanceParams.improvement_threshold`` — or equals the
+           serving plan — returns ``{"applied": False, ...}`` untouched.
+        3. **Build**: re-slice the maintained linear system into the
+           proposal's shard blocks through the walker's executor backend
+           (:meth:`~repro.core.sharding.ShardedIncrementalWalker.
+           with_plan`).  Queries keep serving the old plan throughout —
+           only the update lock is held.  Any failure here propagates and
+           leaves the service byte-for-byte on the old plan: nothing
+           served has been touched yet.
+        4. **Flip**, atomically under the serve lock: adopt the plan,
+           reset the per-shard caches/counters/owned-node arrays
+           (:meth:`_fresh_shard_state` — a new owned-nodes object means a
+           new residency epoch, so pool workers can never rank against
+           stale ownership), bump the version, and install the new
+           walker's mutator.  A concurrent batch sees either the complete
+           old topology or the complete new one.
+        5. **Persist**: when a snapshot directory is configured, save the
+           post-flip version — the governing plan is written *before* the
+           shard payloads, so a crash mid-save leaves an inconsistent
+           version that :class:`~repro.core.index.ShardedSnapshotStore`
+           rolls back on the next load.
+
+        Answers are bitwise-identical across the flip: shard blocks are
+        row-slices of one plan-independent linear system, per-source
+        random streams are keyed ``(seed, source)``, and the top-k merge
+        is exact — the plan only decides *where* work runs.  Returns a
+        report dict (``applied``, ``estimate``, ``plan_generation``, …).
+        """
+        with self._update_lock:
+            self.flush_updates_overlapped()
+            with self._lock:
+                n = self.graph.n_nodes
+                weights = self._load_weights(node_loads)
+                current_plan = self.plan
+            proposal = plan if plan is not None \
+                else load_balanced_plan(self.num_shards, weights)
+            if proposal.num_shards != current_plan.num_shards:
+                raise CloudWalkerError(
+                    f"rebalance cannot change the shard count: serving "
+                    f"{current_plan.num_shards} shards, proposal has "
+                    f"{proposal.num_shards}"
+                )
+            estimate = evaluate_rebalance(
+                shard_loads(current_plan, n, weights),
+                shard_loads(proposal, n, weights),
+                improvement_threshold=self.rebalance_params.improvement_threshold,
+                min_total_load=(self.rebalance_params.min_sources
+                                + n * self.rebalance_params.cold_weight),
+            )
+            report: Dict[str, Any] = {
+                "applied": False,
+                "estimate": estimate.to_dict(),
+                "plan_generation": self._plan_generation,
+                "index_version": self._version,
+            }
+            if np.array_equal(proposal.assign(n), current_plan.assign(n)):
+                report["reason"] = "proposed plan equals the serving plan"
+                return report
+            if not force and not estimate.should_rebalance:
+                report["reason"] = estimate.reason
+                return report
+            # Build the new sharded lineage from the current system —
+            # the expensive, failure-prone step, done entirely before
+            # anything served changes.
+            mutator = self._ensure_mutator()
+            new_walker = mutator.walker.with_plan(proposal)
+            blocks = new_walker.shard_systems(backend=new_walker.backend)
+            with self._lock:
+                self.plan = proposal
+                self._fresh_shard_state()
+                self._version += 1
+                self._plan_generation += 1
+                self.sharded_index = ShardedIndex(
+                    index=self.index, plan=proposal,
+                    shard_versions=[self._version] * proposal.num_shards,
+                )
+                self._mutator = GraphMutator(self.graph, self.params,
+                                             self.update_params,
+                                             walker=new_walker)
+                self._counters["rebalances_applied"] += 1
+                report.update(
+                    applied=True,
+                    reason=("forced" if force and not estimate.should_rebalance
+                            else estimate.reason),
+                    plan_generation=self._plan_generation,
+                    index_version=self._version,
+                )
+            if self.update_params.snapshot_dir is not None:
+                store = ShardedSnapshotStore(
+                    self.update_params.snapshot_dir,
+                    retain=self.update_params.snapshot_retain,
+                )
+                store.save_snapshot(self.sharded_index, shard_systems=blocks,
+                                    version=self._version)
+                self._counters["snapshots_written"] += 1
+                report["snapshot_version"] = self._version
+            return report
+
+    def maybe_rebalance(self) -> Dict[str, Any]:
+        """One auto-rebalance tick: migrate only if the model says so.
+
+        The periodic entry point of the HTTP tier's ``--auto-rebalance``
+        strand — exactly :meth:`rebalance` with ``force=False``, so an
+        unrepresentative or not-good-enough proposal is a cheap no-op.
+        """
+        return self.rebalance(force=False)
+
+    # ------------------------------------------------------------------ #
     # Query execution (scatter-gather)
     # ------------------------------------------------------------------ #
     def _resolve_distributions(
@@ -630,6 +861,12 @@ class ShardedQueryService(QueryService):
         missing_by_shard: Dict[int, List[int]] = {}
         for source in plan.sources:
             shard = self.plan.shard_of(source)
+            # Load accounting feeds the rebalance planner: every routed
+            # source counts against its node and its owning shard, cached
+            # or not — placement decides which shard *would* pay for the
+            # source once its cache entry ages out.
+            self._node_loads[source] = self._node_loads.get(source, 0.0) + 1.0
+            self._shard_counters[shard]["sources_routed"] += 1
             cached = self.shard_caches[shard].get(
                 CacheKey.for_query(source, self.params, walkers_count)
             )
@@ -638,6 +875,7 @@ class ShardedQueryService(QueryService):
             else:
                 missing_by_shard.setdefault(shard, []).append(source)
         self.last_scatter_seconds = {}
+        self.last_rank_seconds = {}
         if missing_by_shard:
             if self.service_params.resident_graph:
                 # Zero-copy hot path: the graph rides the pool's resident
@@ -666,6 +904,7 @@ class ShardedQueryService(QueryService):
             for shard in sorted(outcomes):
                 simulated, seconds = outcomes[shard]
                 self.last_scatter_seconds[shard] = seconds
+                self._shard_counters[shard]["scatter_seconds"] += seconds
                 self._counters["sources_simulated"] += len(simulated)
                 self._shard_counters[shard]["sources_simulated"] += len(simulated)
                 for source, distribution in simulated.items():
@@ -718,6 +957,12 @@ class ShardedQueryService(QueryService):
                     for shard in range(self.num_shards)
                 }
             outcomes = run_shard_tasks(self._serve_backend, tasks)
+            for shard in range(self.num_shards):
+                seconds = outcomes[shard][1]
+                self.last_rank_seconds[shard] = (
+                    self.last_rank_seconds.get(shard, 0.0) + seconds
+                )
+                self._shard_counters[shard]["rank_seconds"] += seconds
             partials = [outcomes[shard][0] for shard in range(self.num_shards)]
             return merge_top_k(partials, capped_k)
         return super()._answer(query, distributions)
@@ -762,6 +1007,8 @@ class ShardedQueryService(QueryService):
             "pending_updates": self.pending_updates,
             "num_shards": self.num_shards,
             "shard_strategy": self.plan.strategy,
+            "plan_generation": self._plan_generation,
+            "observed_sources": float(sum(self._node_loads.values())),
             "serve_backend": self.service_params.serve_backend,
             "serve_workers": self.service_params.serve_workers,
             "resident_graph": self.service_params.resident_graph,

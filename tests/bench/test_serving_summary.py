@@ -36,6 +36,9 @@ def _full_results(directory):
     _write(directory, "http_serve",
            {"qps_speedup": 2.6, "p99_seconds": 0.05, "gate_passed": True,
             "all_identical": True})
+    _write(directory, "rebalance",
+           {"p99_improvement": 2.8, "rebalance_applied": True,
+            "all_identical": True})
 
 
 def test_all_gates_pass_and_file_is_written(tmp_path):

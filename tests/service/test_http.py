@@ -12,24 +12,32 @@ Three layers of coverage:
 * **concurrency** — overlapping real clients during deferred update
   drains observe monotone index versions and no torn reads (every
   response bitwise-matches a single-threaded reference at the version the
-  response reports).
+  response reports), including while live plan migrations race the
+  coalescer and the drain strand;
+* **rebalancing** — ``POST /rebalance`` migrates without changing any
+  answer, and the ``auto_rebalance`` strand migrates on its own when the
+  observed load is skewed enough.
 """
 
 import asyncio
 import http.client
 import json
+import random
 import threading
 import time
 
+import numpy as np
 import pytest
 
 from repro.config import (
+    RebalanceParams,
     ServiceParams,
     ShardingParams,
     SimRankParams,
     UpdateParams,
 )
 from repro.graph import generators
+from repro.graph.partition import ShardPlan
 from repro.service import QueryService, ShardedQueryService, parse_query
 from repro.service.http import HttpServiceServer, edge_from_wire, encode_answer
 
@@ -519,3 +527,248 @@ class TestConcurrency:
                 )
                 total += 1
         assert total > 0, "concurrency run produced no observations"
+
+    def test_migrations_racing_drains_and_clients_stay_bitwise_stable(self):
+        """Live plan migrations race deferred-update drains and the HTTP
+        coalescer: every response must bitwise-match one of the reference
+        answer states (migrations add versions but never answers), each
+        client's versions stay monotone, and any two responses reporting
+        the same version must carry identical answers (no torn reads)."""
+        graph = _graph()
+        n = graph.n_nodes
+
+        # Reference states: answers after 0..len(EDIT_BATCHES) drained
+        # batches.  A migration between drains serves the *same* state
+        # under a new index version, so responses are validated against
+        # the set of states rather than a version-keyed map.
+        states = []
+        with QueryService.build(graph, PARAMS) as reference:
+            answers, base_version = _expected(reference, QUERY_LINES)
+            states.append(answers)
+            for batch in EDIT_BATCHES:
+                assert reference.add_edges(batch) is not None
+                answers, _version = _expected(reference, QUERY_LINES)
+                states.append(answers)
+
+        service = _sharded(graph)
+        rng = random.Random(7)
+        observations = {0: [], 1: [], 2: []}
+        errors = []
+        stop = threading.Event()
+
+        def client(slot):
+            connection = http.client.HTTPConnection("127.0.0.1", port,
+                                                    timeout=60)
+            try:
+                while not stop.is_set():
+                    body = json.dumps({"queries": QUERY_LINES}).encode()
+                    connection.request("POST", "/query", body,
+                                       {"Content-Type": "application/json"})
+                    response = connection.getresponse()
+                    payload = json.loads(response.read().decode("utf-8"))
+                    if response.status != 200:
+                        raise AssertionError(
+                            f"query failed: {response.status} {payload}"
+                        )
+                    observations[slot].append(
+                        (payload["index_version"], payload["answers"])
+                    )
+            except Exception as exc:  # noqa: BLE001 — surfaced after join
+                errors.append(exc)
+            finally:
+                connection.close()
+
+        migrations = 0
+        with _LoopThread(HttpServiceServer(service, port=0,
+                                           coalesce_window=0.002)) as running:
+            port = running.server.port
+            threads = [threading.Thread(target=client, args=(slot,))
+                       for slot in observations]
+            for thread in threads:
+                thread.start()
+            try:
+                updater = http.client.HTTPConnection("127.0.0.1", port,
+                                                     timeout=60)
+                try:
+                    for batch in EDIT_BATCHES:
+                        body = json.dumps({
+                            "edges": [list(edge) for edge in batch],
+                            "wait": True,
+                        }).encode()
+                        updater.request("POST", "/update", body,
+                                        {"Content-Type": "application/json"})
+                        response = updater.getresponse()
+                        payload = json.loads(response.read().decode("utf-8"))
+                        assert response.status == 200, payload
+                        # Migrate to a random plan while clients hammer the
+                        # coalescer.  rebalance() serialises against drains
+                        # on the update lock, so this genuinely interleaves
+                        # with in-flight queries, not with the drain itself.
+                        plan = ShardPlan(
+                            num_shards=3, strategy="partitioner",
+                            assignment=np.array(
+                                [rng.randrange(3) for _ in range(n)]
+                            ),
+                        )
+                        report = service.rebalance(plan=plan, force=True)
+                        assert report["applied"] is True, report
+                        migrations += 1
+                finally:
+                    updater.close()
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=60)
+            assert not any(thread.is_alive() for thread in threads)
+
+        assert errors == []
+        assert migrations == len(EDIT_BATCHES)
+        # Updates and migrations each bump the version exactly once.
+        assert service.index_version == (
+            base_version + len(EDIT_BATCHES) + migrations
+        )
+
+        by_version = {}
+        total = 0
+        for slot, seen in observations.items():
+            versions = [version for version, _ in seen]
+            assert versions == sorted(versions), (
+                f"client {slot} observed versions going backwards: {versions}"
+            )
+            for version, answers in seen:
+                assert answers in states, (
+                    f"torn read: answers at version {version} match no "
+                    f"reference state"
+                )
+                previous = by_version.setdefault(version, answers)
+                assert previous == answers, (
+                    f"torn read: version {version} served two different "
+                    f"answer sets"
+                )
+                total += 1
+        assert total > 0, "migration stress produced no observations"
+
+
+class TestRebalance:
+    def _contiguous(self, graph, rebalance, **service_overrides):
+        service_overrides.setdefault("cache_capacity", 32)
+        service_params = ServiceParams(
+            serve_backend="threads", serve_workers=2,
+            coalesce_window=0.005, **service_overrides,
+        )
+        return ShardedQueryService.build(
+            graph, PARAMS, service_params=service_params,
+            sharding=ShardingParams(num_shards=3, strategy="contiguous"),
+            rebalance_params=rebalance,
+        )
+
+    def test_rebalance_endpoint_migrates_without_changing_answers(self):
+        graph = _graph()
+        service = self._contiguous(graph, RebalanceParams(min_sources=0))
+        with QueryService.build(graph, PARAMS) as reference:
+            expected, version = _expected(reference, QUERY_LINES)
+
+        async def scenario(server):
+            before = await _request(server.port, "POST", "/query",
+                                    {"queries": QUERY_LINES})
+            report = await _request(server.port, "POST", "/rebalance",
+                                    {"force": True})
+            after = await _request(server.port, "POST", "/query",
+                                   {"queries": QUERY_LINES})
+            stats = await _request(server.port, "GET", "/stats")
+            return before, report, after, stats
+
+        before, (r_status, report), after, (s_status, stats) = _serve(
+            service, scenario
+        )
+        assert before == (200, {"answers": expected,
+                                "index_version": version})
+        assert r_status == 200
+        assert report["applied"] is True
+        # The migration bumped the version without changing any answer.
+        assert after == (200, {"answers": expected,
+                               "index_version": version + 1})
+        assert s_status == 200
+        assert stats["plan_generation"] == 2
+        assert stats["http"]["rebalances_triggered"] == 1
+        assert stats["http"]["rebalances_applied"] == 1
+        assert stats["http"]["rebalances_skipped"] == 0
+
+    def test_unforced_rebalance_below_threshold_is_skipped(self):
+        service = self._contiguous(_graph(), RebalanceParams())
+
+        async def scenario(server):
+            report = await _request(server.port, "POST", "/rebalance", {})
+            stats = await _request(server.port, "GET", "/stats")
+            return report, stats
+
+        (r_status, report), (_s, stats) = _serve(service, scenario)
+        assert r_status == 200
+        assert report["applied"] is False
+        assert stats["plan_generation"] == 1
+        assert stats["http"]["rebalances_skipped"] == 1
+        assert stats["http"]["rebalances_applied"] == 0
+
+    def test_rebalance_on_plain_service_is_400(self):
+        service = QueryService.build(_graph(), PARAMS)
+
+        async def scenario(server):
+            return await _request(server.port, "POST", "/rebalance",
+                                  {"force": True})
+
+        status, payload = _serve(service, scenario)
+        assert status == 400
+        assert "not sharded" in payload["error"]
+
+    def test_rebalance_force_must_be_boolean(self):
+        service = self._contiguous(_graph(), RebalanceParams(min_sources=0))
+
+        async def scenario(server):
+            return await _request(server.port, "POST", "/rebalance",
+                                  {"force": "yes"})
+
+        status, payload = _serve(service, scenario)
+        assert status == 400
+        assert "force" in payload["error"]
+
+    def test_auto_rebalance_strand_migrates_on_skewed_load(self):
+        """With ``auto_rebalance`` on and a hot contiguous shard, the
+        periodic strand migrates on its own — and the migrated service
+        keeps serving bitwise-identical answers."""
+        graph = _graph()
+        # All hot sources live in shard 0 of the contiguous plan; a tiny
+        # cold weight makes observed skew dominate the planner's view.
+        service = self._contiguous(
+            graph,
+            RebalanceParams(min_sources=2, cold_weight=0.01,
+                            improvement_threshold=1.5, check_interval=0.05),
+            cache_capacity=0,
+        )
+        hot = ["source 1", "source 2", "source 3", "source 4"]
+        with QueryService.build(graph, PARAMS) as reference:
+            expected, version = _expected(reference, hot)
+
+        async def scenario(server):
+            first = await _request(server.port, "POST", "/query",
+                                   {"queries": hot})
+            deadline = asyncio.get_running_loop().time() + 30.0
+            stats = {}
+            while asyncio.get_running_loop().time() < deadline:
+                _status, stats = await _request(server.port, "GET", "/stats")
+                if stats["http"]["rebalances_applied"]:
+                    break
+                await asyncio.sleep(0.02)
+            second = await _request(server.port, "POST", "/query",
+                                    {"queries": hot})
+            return first, second, stats
+
+        first, second, stats = _serve(service, scenario, auto_rebalance=True)
+        assert first == (200, {"answers": expected,
+                               "index_version": version})
+        assert stats["http"]["rebalances_applied"] >= 1, (
+            "auto-rebalance strand never migrated a clearly skewed load"
+        )
+        assert second[0] == 200
+        assert second[1]["answers"] == expected
+        assert second[1]["index_version"] > version
+        assert service.plan.strategy == "partitioner"
