@@ -56,6 +56,7 @@ SERVING_GATES = {
     "zero_copy_serve": ("payload_reduction", 5.0, "all_identical", bool),
     "http_serve": ("qps_speedup", 2.0, "all_identical", bool),
     "rebalance": ("p99_improvement", 1.5, "all_identical", bool),
+    "scenarios": ("approx_p99_improvement", 1.5, "all_identical", bool),
 }
 
 #: Benchmark script name -> result-file stem, for tying a consolidation to
@@ -84,6 +85,38 @@ def run_one(path: Path) -> tuple:
     return completed.returncode == 0, elapsed, output
 
 
+def _scenario_trajectory(results_dir: Path) -> list:
+    """Per-scenario trajectory rows from ``scenarios.json``, if present.
+
+    ``bench_scenarios.py`` persists one normalized record per replayed
+    scenario (exact and approximate runs); the consolidated summary
+    carries them as a table instead of a single snapshot number, so the
+    per-workload latency/accuracy trajectory is diffable across PRs.  An
+    absent file yields an empty table (the ``scenarios`` *gate* row still
+    reports it as missing).
+    """
+    path = results_dir / "scenarios.json"
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    rows = []
+    for record in payload.get("scenarios", []):
+        rows.append({
+            "scenario": record.get("scenario"),
+            "transport": record.get("transport"),
+            "mode": record.get("mode"),
+            "qps": record.get("qps"),
+            "p50_latency_seconds": record.get("p50_latency_seconds"),
+            "p99_latency_seconds": record.get("p99_latency_seconds"),
+            "cache_hit_rate": record.get("cache_hit_rate"),
+            "rebalances_applied": record.get("rebalances_applied"),
+            "accuracy_budget": record.get("accuracy_budget"),
+            "realized_mean_error": record.get("realized_mean_error"),
+            "answer_checksum": record.get("answer_checksum"),
+        })
+    return rows
+
+
 def consolidate_serving(results_dir: Path = RESULTS_DIR,
                         output_path: Path = SERVING_SUMMARY_PATH,
                         run_status: "dict | None" = None,
@@ -93,7 +126,9 @@ def consolidate_serving(results_dir: Path = RESULTS_DIR,
     Reads each ``<results_dir>/<name>.json`` named in :data:`SERVING_GATES`
     (missing files are reported as ``"missing"`` rather than skipped — a
     benchmark that stopped persisting is itself a regression) and writes
-    the per-benchmark speedup + gate status to ``output_path``.  Returns
+    the per-benchmark speedup + gate status to ``output_path``, together
+    with the per-scenario trajectory table
+    (:func:`_scenario_trajectory`) from the scenario harness.  Returns
     the summary dict.
 
     Besides rewriting the ``output_path`` snapshot (the diffable
@@ -145,6 +180,7 @@ def consolidate_serving(results_dir: Path = RESULTS_DIR,
         }
     summary = {
         "benchmarks": benchmarks,
+        "scenarios": _scenario_trajectory(results_dir),
         "all_gates_passed": all(
             row.get("gate_passed") for row in benchmarks.values()
         ),

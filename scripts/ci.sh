@@ -1,24 +1,27 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 suite (with the coverage gate), benchmark smoke,
-# docs reference check, HTTP serving smoke.
+# docs reference check, trace-replay smoke, HTTP serving smoke.
 #
 # scripts/tier1.py degrades gracefully when pytest-cov is absent so a bare
 # checkout can still run the suite; CI must NOT take that degraded path.
 # This script first makes sure the dev tooling (dev-requirements.txt,
-# which pins pytest-cov) is installed, then runs the four checks that
+# which pins pytest-cov) is installed, then runs the five checks that
 # gate a PR:
 #
 #   1. scripts/tier1.py            - full test suite + 80% coverage floor
 #                                    over repro.service and repro.core
 #   2. scripts/smoke_benchmarks.py - every benchmark imported and run tiny
 #   3. scripts/check_docs.py       - every doc path/symbol reference resolves
-#   4. scripts/http_smoke.py       - real serve-http child process: 2s of
+#   4. scripts/replay_smoke.py     - tiny-trace `repro replay` end to end:
+#                                    deterministic exact + approximate
+#                                    scenario replays through the CLI
+#   5. scripts/http_smoke.py       - real serve-http child process: 2s of
 #                                    concurrent load, SIGTERM, graceful
 #                                    shutdown, no leaked /dev/shm segments
 #                                    (non-zero exit on a leak)
 #
 # Usage:
-#   bash scripts/ci.sh            # all four stages
+#   bash scripts/ci.sh            # all five stages
 #   CI_SKIP_INSTALL=1 bash scripts/ci.sh   # offline: use whatever is installed
 set -euo pipefail
 
@@ -42,16 +45,19 @@ if ! "${PYTHON}" -c "import pytest_cov" >/dev/null 2>&1; then
          "coverage gate" >&2
 fi
 
-echo "ci: [1/4] tier-1 suite (+ coverage gate when available)"
+echo "ci: [1/5] tier-1 suite (+ coverage gate when available)"
 "${PYTHON}" scripts/tier1.py
 
-echo "ci: [2/4] benchmark smoke"
+echo "ci: [2/5] benchmark smoke"
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" "${PYTHON}" scripts/smoke_benchmarks.py
 
-echo "ci: [3/4] docs reference check"
+echo "ci: [3/5] docs reference check"
 "${PYTHON}" scripts/check_docs.py
 
-echo "ci: [4/4] HTTP serving smoke (graceful shutdown + shm leak check)"
+echo "ci: [4/5] trace-replay smoke (deterministic exact + approximate CLI replay)"
+"${PYTHON}" scripts/replay_smoke.py
+
+echo "ci: [5/5] HTTP serving smoke (graceful shutdown + shm leak check)"
 "${PYTHON}" scripts/http_smoke.py
 
 echo "ci: all stages passed"

@@ -187,6 +187,22 @@ def _smoke_rebalance() -> Dict[str, Any]:
     return result
 
 
+def _smoke_scenarios() -> Dict[str, Any]:
+    module = _load("bench_scenarios.py")
+    with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=12,
+                  QUERY_WALKERS=120, NUM_SHARDS=2, N_EVENTS=24,
+                  BATCH_SIZE=8, ACCURACY_BUDGET=0.1,
+                  APPROX_SCENARIOS=("zipf",)):
+        result = module.scenarios_experiment()
+    # Bitwise identity and the error budget are size-independent, so they
+    # ARE asserted at smoke size (unlike the p99-improvement gate).
+    assert result["all_identical"], "a scenario smoke replay diverged bitwise"
+    assert result["approx_within_budget"], (
+        "a scenario smoke approximate replay exceeded its accuracy budget"
+    )
+    return result
+
+
 def _smoke_sharded_build() -> Dict[str, Any]:
     module = _load("bench_sharded_build.py")
     with _patched(module, GRAPH_NODES=150, INDEX_WALKERS=20, WALK_STEPS=4,
@@ -250,6 +266,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_incremental_service.py": _smoke_incremental_service,
     "bench_parallel_serve.py": _smoke_parallel_serve,
     "bench_rebalance.py": _smoke_rebalance,
+    "bench_scenarios.py": _smoke_scenarios,
     "bench_service_throughput.py": _smoke_service_throughput,
     "bench_sharded_build.py": _smoke_sharded_build,
     "bench_table1_datasets.py": _smoke_table1,

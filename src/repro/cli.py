@@ -307,6 +307,21 @@ def _add_service_arguments(parser: argparse.ArgumentParser) -> None:
                         default=defaults.serve_workers,
                         help="worker bound for the threads/processes serve "
                              "backend (default: %(default)s)")
+    parser.add_argument("--accuracy-budget", dest="accuracy_budget",
+                        type=float, default=defaults.accuracy_budget,
+                        help="serve approximately within this mean-error "
+                             "budget (reduced walkers/steps calibrated at "
+                             "startup against exact ground truth, quadratic "
+                             "in graph size); omit for exact serving "
+                             "(default: exact)")
+    parser.add_argument("--approx-walkers", dest="approx_walkers", type=int,
+                        default=defaults.approx_walkers,
+                        help="explicit approximate-mode query walkers "
+                             "(skips calibration; needs --accuracy-budget)")
+    parser.add_argument("--approx-steps", dest="approx_steps", type=int,
+                        default=defaults.approx_steps,
+                        help="explicit approximate-mode walk steps "
+                             "(needs --accuracy-budget)")
 
 
 def _make_service(args: argparse.Namespace):
@@ -317,6 +332,9 @@ def _make_service(args: argparse.Namespace):
         cache_capacity=args.cache_capacity, max_batch_size=args.max_batch_size,
         serve_backend=args.serve_backend, serve_workers=args.serve_workers,
         resident_graph=getattr(args, "resident_graph", True),
+        accuracy_budget=getattr(args, "accuracy_budget", None),
+        approx_walkers=getattr(args, "approx_walkers", None),
+        approx_steps=getattr(args, "approx_steps", None),
     )
     # Parameters default to the ones persisted in the index so a cold-started
     # service answers exactly like the process that built the index.
@@ -469,6 +487,50 @@ def _cmd_serve_http(args: argparse.Namespace, out) -> int:
         # idempotent, so this is a no-op then — and the release path when
         # startup failed before the server took ownership.
         service.close()
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace, out) -> int:
+    from repro.service import scenarios
+
+    graph = _load_graph(args)
+    if args.trace:
+        trace = scenarios.read_trace(args.trace)
+    else:
+        trace = scenarios.generate_trace(
+            args.scenario, graph.n_nodes, n_events=args.events,
+            seed=args.trace_seed,
+        )
+    if args.save_trace:
+        scenarios.write_trace(trace, args.save_trace)
+        print(f"trace {trace.name!r} ({len(trace.events)} events) "
+              f"written to {args.save_trace}", file=out)
+    options = scenarios.ReplayOptions(
+        batch_size=args.batch_size,
+        rebalance_every=args.rebalance_every,
+    )
+    service = _make_service(args)
+    try:
+        result = scenarios.replay_trace(service, trace, options)
+    finally:
+        service.close()
+    record = result.to_record()
+    print(f"scenario {result.scenario!r} [{result.transport}, {result.mode}]: "
+          f"{result.n_queries} queries + {result.n_updates} updates in "
+          f"{result.n_batches} batches, {result.duration_seconds:.3f}s "
+          f"({result.qps:.1f} q/s)", file=out)
+    print(f"  p50 {result.p50_latency_seconds * 1e3:.2f}ms  "
+          f"p99 {result.p99_latency_seconds * 1e3:.2f}ms  "
+          f"cache hit rate {result.cache_hit_rate:.2f}  "
+          f"rebalances {result.rebalances_applied}", file=out)
+    print(f"  index versions {record['index_versions']}  "
+          f"answers sha256 {result.answer_checksum[:16]}…", file=out)
+    if result.realized_mean_error is not None:
+        print(f"  realized mean error {result.realized_mean_error:.5f} "
+              f"(budget {result.accuracy_budget})", file=out)
+    if args.output:
+        scenarios.write_records([result], args.output)
+        print(f"record appended to {args.output}", file=out)
     return 0
 
 
@@ -845,6 +907,43 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seconds between auto-rebalance checks "
                                  "(default: %(default)s)")
 
+    replay = subparsers.add_parser(
+        "replay",
+        help="replay a traffic trace (recorded JSONL or a synthetic "
+             "scenario) against a served index and emit a normalized "
+             "per-scenario record",
+    )
+    _add_graph_arguments(replay)
+    _add_service_arguments(replay)
+    _add_sharding_arguments(replay)
+    replay.add_argument("--index", required=True)
+    replay.add_argument("--trace",
+                        help="JSONL trace file to replay (wins over "
+                             "--scenario)")
+    replay.add_argument("--scenario", default="uniform",
+                        choices=["uniform", "zipf", "bursty", "update_storm",
+                                 "multi_tenant"],
+                        help="synthetic trace generator "
+                             "(default: %(default)s)")
+    replay.add_argument("--events", type=int, default=200,
+                        help="query events of the synthetic trace "
+                             "(default: %(default)s)")
+    replay.add_argument("--trace-seed", dest="trace_seed", type=int, default=0,
+                        help="seed of the synthetic trace "
+                             "(default: %(default)s)")
+    replay.add_argument("--save-trace", dest="save_trace",
+                        help="also write the replayed trace as JSONL here")
+    replay.add_argument("--batch-size", dest="batch_size", type=int,
+                        default=32,
+                        help="max consecutive query events answered as one "
+                             "batch (default: %(default)s)")
+    replay.add_argument("--rebalance-every", dest="rebalance_every", type=int,
+                        default=0,
+                        help="ask for a rebalance check every N batches; "
+                             "0 disables (default: %(default)s)")
+    replay.add_argument("--output",
+                        help="append the per-scenario JSONL record here")
+
     rebalance = subparsers.add_parser(
         "rebalance",
         help="migrate a sharded snapshot lineage to a load-balanced shard "
@@ -916,6 +1015,7 @@ _COMMANDS = {
     "query-batch": _cmd_query_batch,
     "serve": _cmd_serve,
     "serve-http": _cmd_serve_http,
+    "replay": _cmd_replay,
     "rebalance": _cmd_rebalance,
     "update": _cmd_update,
     "snapshot": _cmd_snapshot,

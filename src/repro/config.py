@@ -192,6 +192,27 @@ class ServiceParams:
         yet answered before new ones are refused with a 503 (and pending
         deferred edges before updates are refused with a 429).  Bounds
         queueing memory and tail latency under overload.
+    accuracy_budget:
+        Mean-absolute-error budget of the *approximate serving mode*.
+        ``None`` (the default) keeps exact serving: every answer is
+        bitwise-identical to the core computation at the index's own
+        ``SimRankParams``.  A budget in ``(0, 1)`` lets the service answer
+        queries from fewer walkers / shorter walks, trading accuracy
+        (bounded by the budget) for latency.  The cheap operating point
+        comes from ``approx_walkers`` / ``approx_steps`` when given,
+        otherwise it is calibrated at service construction against
+        :func:`repro.analysis.accuracy.exact_linearized_matrix` ground
+        truth (see :func:`repro.analysis.accuracy.calibrate_query_budget`
+        — exact ground truth is quadratic in graph size, so precalibrate
+        on large graphs).  Index maintenance (updates, snapshots,
+        rebalancing) always runs at the exact parameters.
+    approx_walkers:
+        Explicit query-walker count of the approximate mode; requires
+        ``accuracy_budget``.  ``None`` asks calibration to choose.
+    approx_steps:
+        Explicit walk-step count of the approximate mode; requires
+        ``accuracy_budget``.  ``None`` keeps the exact ``walk_steps``
+        unless calibration chooses a shorter walk.
     """
 
     cache_capacity: int = 1024
@@ -203,6 +224,9 @@ class ServiceParams:
     http_port: int = 8080
     coalesce_window: float = 0.002
     max_in_flight: int = 64
+    accuracy_budget: Optional[float] = None
+    approx_walkers: Optional[int] = None
+    approx_steps: Optional[int] = None
 
     _VALID_SERVE_BACKENDS = ("serial", "threads", "processes")
 
@@ -240,6 +264,30 @@ class ServiceParams:
             raise ConfigurationError(
                 f"max_in_flight must be >= 1, got {self.max_in_flight}"
             )
+        if self.accuracy_budget is not None and not 0 < self.accuracy_budget < 1:
+            raise ConfigurationError(
+                f"accuracy_budget must be in (0, 1), got {self.accuracy_budget}"
+            )
+        if self.approx_walkers is not None:
+            if self.accuracy_budget is None:
+                raise ConfigurationError(
+                    "approx_walkers requires an accuracy_budget (exact mode "
+                    "never reduces walkers)"
+                )
+            if self.approx_walkers < 1:
+                raise ConfigurationError(
+                    f"approx_walkers must be >= 1, got {self.approx_walkers}"
+                )
+        if self.approx_steps is not None:
+            if self.accuracy_budget is None:
+                raise ConfigurationError(
+                    "approx_steps requires an accuracy_budget (exact mode "
+                    "never shortens walks)"
+                )
+            if self.approx_steps < 1:
+                raise ConfigurationError(
+                    f"approx_steps must be >= 1, got {self.approx_steps}"
+                )
 
     def with_(self, **changes: Any) -> "ServiceParams":
         """Return a copy with the given fields replaced."""
@@ -257,6 +305,9 @@ class ServiceParams:
             "http_port": self.http_port,
             "coalesce_window": self.coalesce_window,
             "max_in_flight": self.max_in_flight,
+            "accuracy_budget": self.accuracy_budget,
+            "approx_walkers": self.approx_walkers,
+            "approx_steps": self.approx_steps,
         }
 
     @classmethod

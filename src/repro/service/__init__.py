@@ -30,6 +30,13 @@ serving layer fit for sustained query traffic:
     :class:`HttpServiceServer`, the stdlib-only asyncio HTTP/JSON tier:
     coalesced queries, backpressure (429/503), overlapped update drains
     and a graceful SIGTERM drain over the service ``close()`` lifecycle.
+:mod:`repro.service.scenarios`
+    The scenario harness: a JSONL traffic-trace model, synthetic workload
+    generators (uniform, Zipf, bursty, update storms, multi-tenant) and
+    replay drivers that run a trace against the in-process or HTTP tier
+    and emit normalized per-scenario records — including the realized
+    error of the approximate serving mode
+    (``ServiceParams.accuracy_budget``).
 """
 
 from repro.service.batching import (
@@ -47,6 +54,21 @@ from repro.service.batching import (
 from repro.service.cache import CacheKey, CacheStats, WalkDistributionCache
 from repro.service.coalesce import BatchCoalescer
 from repro.service.http import HttpServiceServer
+from repro.service.scenarios import (
+    TRACE_GENERATORS,
+    ReplayOptions,
+    ScenarioResult,
+    Trace,
+    TraceEvent,
+    generate_trace,
+    parse_trace_line,
+    read_trace,
+    replay_trace,
+    replay_trace_http,
+    trace_from_lines,
+    write_records,
+    write_trace,
+)
 from repro.service.service import BatchAnswers, QueryService
 from repro.service.sharded import ShardedQueryService
 from repro.service.updates import GraphMutator, MutationResult
@@ -63,13 +85,26 @@ __all__ = [
     "PairQuery",
     "Query",
     "QueryService",
+    "ReplayOptions",
+    "ScenarioResult",
     "ShardedQueryService",
     "SourceQuery",
     "TopKQuery",
+    "TRACE_GENERATORS",
+    "Trace",
+    "TraceEvent",
     "WalkDistributionCache",
     "chunk_sources",
+    "generate_trace",
     "parse_edge",
     "parse_query",
+    "parse_trace_line",
     "plan_batch",
+    "read_trace",
+    "replay_trace",
+    "replay_trace_http",
     "required_sources",
+    "trace_from_lines",
+    "write_records",
+    "write_trace",
 ]

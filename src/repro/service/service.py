@@ -119,6 +119,12 @@ class QueryService:
         self.service_params = service_params or ServiceParams()
         self.update_params = update_params or UpdateParams()
         self.engine = QueryEngine(graph, index, self.params)
+        self.budget_calibration = None
+        self.query_params = self._derive_query_params()
+        self.query_engine = (
+            self.engine if self.query_params is self.params
+            else QueryEngine(graph, index, self.query_params)
+        )
         self.cache = WalkDistributionCache(self.service_params.cache_capacity)
         self._mutator: Optional[GraphMutator] = None
         self._version = 1
@@ -128,6 +134,44 @@ class QueryService:
             "sources_deduplicated": 0, "updates_applied": 0, "edges_added": 0,
             "snapshots_written": 0,
         }
+
+    def _derive_query_params(self) -> SimRankParams:
+        """Serving-time parameters: ``self.params`` itself in exact mode.
+
+        Exact mode (no ``accuracy_budget``) returns the *identity* object,
+        so every query-path read of ``self.query_params`` sees bitwise the
+        same values as before the approximate mode existed.  With a budget,
+        a reduced ``(query_walkers, walk_steps)`` operating point is taken
+        from ``ServiceParams.approx_walkers`` / ``approx_steps`` when set,
+        otherwise calibrated here against exact linearized ground truth
+        (quadratic in graph size — precalibrate for large graphs).  Index
+        maintenance keeps using the exact ``self.params`` either way.
+        """
+        budget = self.service_params.accuracy_budget
+        if budget is None:
+            return self.params
+        walkers = self.service_params.approx_walkers
+        steps = self.service_params.approx_steps
+        if walkers is None:
+            from repro.analysis.accuracy import calibrate_query_budget
+
+            calibration = calibrate_query_budget(
+                self.graph, self.index, self.params, budget
+            )
+            self.budget_calibration = calibration
+            walkers = calibration.walkers
+            if steps is None:
+                steps = calibration.walk_steps
+        if steps is None:
+            steps = self.params.walk_steps
+        return self.params.with_(query_walkers=walkers, walk_steps=steps)
+
+    def _rebuild_query_engine(self) -> None:
+        """Re-point ``query_engine`` after ``graph``/``index``/``engine`` moved."""
+        self.query_engine = (
+            self.engine if self.query_params is self.params
+            else QueryEngine(self.graph, self.index, self.query_params)
+        )
 
     # ------------------------------------------------------------------ #
     # Cold start
@@ -299,6 +343,7 @@ class QueryService:
         self.graph = self._mutator.graph
         self.index = self._mutator.index
         self.engine = QueryEngine(self.graph, self.index, self.params)
+        self._rebuild_query_engine()
         self.cache.invalidate_sources(result.affected)
         self._version += 1
         self._counters["updates_applied"] += 1
@@ -385,24 +430,28 @@ class QueryService:
     def _resolve_distributions(
         self, plan: BatchPlan, walkers: Optional[int]
     ) -> Dict[int, WalkDistributions]:
-        walkers_count = walkers if walkers is not None else self.params.query_walkers
+        walkers_count = (walkers if walkers is not None
+                         else self.query_params.query_walkers)
         resolved: Dict[int, WalkDistributions] = {}
         missing: List[int] = []
         for source in plan.sources:
-            cached = self.cache.get(CacheKey.for_query(source, self.params, walkers_count))
+            cached = self.cache.get(
+                CacheKey.for_query(source, self.query_params, walkers_count)
+            )
             if cached is not None:
                 resolved[source] = cached
             else:
                 missing.append(source)
         for chunk in chunk_sources(missing, self.service_params.max_batch_size):
             simulated = montecarlo.estimate_walk_distributions_batch(
-                self.graph, chunk, self.params, walkers=walkers_count
+                self.graph, chunk, self.query_params, walkers=walkers_count
             )
             self._counters["sources_simulated"] += len(simulated)
             for source, distribution in simulated.items():
                 resolved[source] = distribution
                 self.cache.put(
-                    CacheKey.for_query(source, self.params, walkers_count), distribution
+                    CacheKey.for_query(source, self.query_params, walkers_count),
+                    distribution,
                 )
         return resolved
 
@@ -412,10 +461,10 @@ class QueryService:
             self._counters["pair_queries"] += 1
             if query.source == query.target:
                 return 1.0
-            return self.engine.combine_pair(
+            return self.query_engine.combine_pair(
                 distributions[query.source], distributions[query.target]
             )
-        scores = self.engine.propagate_source(
+        scores = self.query_engine.propagate_source(
             query.source, distributions[query.source]
         )
         if isinstance(query, SourceQuery):
@@ -474,6 +523,10 @@ class QueryService:
             **self._counters,
             "index_version": self._version,
             "pending_updates": self.pending_updates,
+            "approx_mode": self.query_params is not self.params,
+            "accuracy_budget": self.service_params.accuracy_budget,
+            "query_walkers_served": self.query_params.query_walkers,
+            "walk_steps_served": self.query_params.walk_steps,
             "cache_size": len(self.cache),
             "cache_capacity": self.cache.capacity,
             "cache_memory_bytes": self.cache.memory_bytes(),

@@ -605,6 +605,7 @@ class ShardedQueryService(QueryService):
             self.graph = self._mutator.graph
             self.index = self._mutator.index
             self.engine = QueryEngine(self.graph, self.index, self.params)
+            self._rebuild_query_engine()
             self._shard_nodes_cache = None
             self._version += 1
             touched = self.plan.group_nodes(result.affected)
@@ -856,7 +857,8 @@ class ShardedQueryService(QueryService):
         critical-path input); cache inserts and counters are applied in
         the gathering thread, under the batch's lock.
         """
-        walkers_count = walkers if walkers is not None else self.params.query_walkers
+        walkers_count = (walkers if walkers is not None
+                         else self.query_params.query_walkers)
         resolved: Dict[int, montecarlo.WalkDistributions] = {}
         missing_by_shard: Dict[int, List[int]] = {}
         for source in plan.sources:
@@ -868,7 +870,7 @@ class ShardedQueryService(QueryService):
             self._node_loads[source] = self._node_loads.get(source, 0.0) + 1.0
             self._shard_counters[shard]["sources_routed"] += 1
             cached = self.shard_caches[shard].get(
-                CacheKey.for_query(source, self.params, walkers_count)
+                CacheKey.for_query(source, self.query_params, walkers_count)
             )
             if cached is not None:
                 resolved[source] = cached
@@ -886,7 +888,7 @@ class ShardedQueryService(QueryService):
                 tasks = {
                     shard: partial(
                         _simulate_shard_sources_resident, handle, sources,
-                        self.params, walkers_count,
+                        self.query_params, walkers_count,
                         self.service_params.max_batch_size,
                     )
                     for shard, sources in missing_by_shard.items()
@@ -895,7 +897,7 @@ class ShardedQueryService(QueryService):
                 tasks = {
                     shard: partial(
                         _simulate_shard_sources, self.graph, sources,
-                        self.params, walkers_count,
+                        self.query_params, walkers_count,
                         self.service_params.max_batch_size,
                     )
                     for shard, sources in missing_by_shard.items()
@@ -910,7 +912,7 @@ class ShardedQueryService(QueryService):
                 for source, distribution in simulated.items():
                     resolved[source] = distribution
                     self.shard_caches[shard].put(
-                        CacheKey.for_query(source, self.params, walkers_count),
+                        CacheKey.for_query(source, self.query_params, walkers_count),
                         distribution,
                     )
         return resolved
@@ -930,7 +932,7 @@ class ShardedQueryService(QueryService):
         """
         if isinstance(query, TopKQuery):
             self._counters["topk_queries"] += 1
-            scores = self.engine.propagate_source(
+            scores = self.query_engine.propagate_source(
                 query.source, distributions[query.source]
             )
             owned_nodes = self._shard_nodes()
@@ -1005,6 +1007,10 @@ class ShardedQueryService(QueryService):
             **self._counters,
             "index_version": self._version,
             "pending_updates": self.pending_updates,
+            "approx_mode": self.query_params is not self.params,
+            "accuracy_budget": self.service_params.accuracy_budget,
+            "query_walkers_served": self.query_params.query_walkers,
+            "walk_steps_served": self.query_params.walk_steps,
             "num_shards": self.num_shards,
             "shard_strategy": self.plan.strategy,
             "plan_generation": self._plan_generation,

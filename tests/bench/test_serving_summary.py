@@ -39,6 +39,23 @@ def _full_results(directory):
     _write(directory, "rebalance",
            {"p99_improvement": 2.8, "rebalance_applied": True,
             "all_identical": True})
+    _write(directory, "scenarios",
+           {"approx_p99_improvement": 2.4, "approx_within_budget": True,
+            "gate_passed": True, "all_identical": True,
+            "scenarios": [
+                {"scenario": "zipf", "transport": "in-process",
+                 "mode": "exact", "qps": 3200.0,
+                 "p50_latency_seconds": 0.008, "p99_latency_seconds": 0.009,
+                 "cache_hit_rate": 0.18, "rebalances_applied": 0,
+                 "accuracy_budget": None, "realized_mean_error": None,
+                 "answer_checksum": "ab" * 32},
+                {"scenario": "zipf", "transport": "in-process",
+                 "mode": "approximate", "qps": 6400.0,
+                 "p50_latency_seconds": 0.004, "p99_latency_seconds": 0.005,
+                 "cache_hit_rate": 0.18, "rebalances_applied": 0,
+                 "accuracy_budget": 0.05, "realized_mean_error": 0.002,
+                 "answer_checksum": "cd" * 32},
+            ]})
 
 
 def test_all_gates_pass_and_file_is_written(tmp_path):
@@ -54,6 +71,39 @@ def test_all_gates_pass_and_file_is_written(tmp_path):
         assert row["gate_passed"] is True
         assert row["speedup"] >= row["gate_threshold"]
     assert json.loads(output.read_text(encoding="utf-8")) == summary
+
+
+def test_scenario_trajectory_table_is_embedded(tmp_path):
+    """The summary carries one trajectory row per replayed scenario, so
+    BENCH_serving.json tracks per-workload latency/accuracy — not just a
+    single snapshot number per benchmark."""
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    rows = summary["scenarios"]
+    assert len(rows) == 2
+    modes = {(row["scenario"], row["mode"]) for row in rows}
+    assert modes == {("zipf", "exact"), ("zipf", "approximate")}
+    approx = next(row for row in rows if row["mode"] == "approximate")
+    assert approx["accuracy_budget"] == 0.05
+    assert approx["realized_mean_error"] is not None
+    for row in rows:
+        assert row["answer_checksum"]
+        assert row["p99_latency_seconds"] is not None
+
+
+def test_scenario_trajectory_tolerates_a_missing_file(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    (results / "scenarios.json").unlink()
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["scenarios"] == []
+    assert summary["benchmarks"]["scenarios"]["status"] == "missing"
+    assert summary["all_gates_passed"] is False
 
 
 def test_below_threshold_fails_its_gate(tmp_path):

@@ -650,6 +650,69 @@ class TestShardedCli:
         assert "single-shard snapshot lineage" in output
 
 
+class TestReplay:
+    def test_generated_scenario_appends_a_record(self, indexed, tmp_path):
+        import json
+
+        graph_file, index_path = indexed
+        records = tmp_path / "records.jsonl"
+        code, output = run_cli(
+            "replay", "--graph", str(graph_file), "--index", str(index_path),
+            "--scenario", "zipf", "--events", "12", "--batch-size", "4",
+            "--shards", "2", "--output", str(records),
+        )
+        assert code == 0
+        assert "scenario 'zipf' [in-process, exact]" in output
+        record = json.loads(records.read_text(encoding="utf-8"))
+        assert record["n_queries"] == 12
+        assert len(record["answer_checksum"]) == 64
+
+    def test_saved_trace_replays_deterministically(self, indexed, tmp_path):
+        import json
+
+        graph_file, index_path = indexed
+        trace = tmp_path / "trace.jsonl"
+        records = tmp_path / "records.jsonl"
+        common = ("replay", "--graph", str(graph_file),
+                  "--index", str(index_path), "--batch-size", "4",
+                  "--output", str(records))
+        code, _ = run_cli(*common, "--scenario", "update_storm",
+                          "--events", "30", "--trace-seed", "3",
+                          "--save-trace", str(trace))
+        assert code == 0
+        code, _ = run_cli(*common, "--trace", str(trace))
+        assert code == 0
+        first, second = [
+            json.loads(line)
+            for line in records.read_text(encoding="utf-8").splitlines()
+        ]
+        assert first["answer_checksum"] == second["answer_checksum"]
+        assert first["n_updates"] >= 1
+
+    def test_accuracy_budget_enters_approximate_mode(self, indexed):
+        graph_file, index_path = indexed
+        code, output = run_cli(
+            "replay", "--graph", str(graph_file), "--index", str(index_path),
+            "--scenario", "uniform", "--events", "8", "--batch-size", "4",
+            "--accuracy-budget", "0.2", "--approx-walkers", "30",
+            "--approx-steps", "3",
+        )
+        assert code == 0
+        assert "[in-process, approximate]" in output
+
+    def test_malformed_trace_file_names_the_line(self, indexed, tmp_path):
+        graph_file, index_path = indexed
+        trace = tmp_path / "broken.jsonl"
+        trace.write_text('{"at": 0.0, "kind": "nope"}\n', encoding="utf-8")
+        code, output = run_cli(
+            "replay", "--graph", str(graph_file), "--index", str(index_path),
+            "--trace", str(trace),
+        )
+        assert code == 1
+        assert "trace line 1" in output
+        assert "unknown event kind" in output
+
+
 class TestModuleEntryPoint:
     def test_python_dash_m_repro(self, tmp_path):
         import os
