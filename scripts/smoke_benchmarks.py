@@ -203,6 +203,22 @@ def _smoke_scenarios() -> Dict[str, Any]:
     return result
 
 
+def _smoke_update_routing() -> Dict[str, Any]:
+    module = _load("bench_update_routing.py")
+    with _patched(module, N_NODES=240, CHAIN_LEN=24, WALK_STEPS=8,
+                  N_BATCHES=3, MIN_SPEEDUP=0.0):
+        result = module.update_routing_experiment()
+    # Bitwise identity and eviction equality are size-independent, so they
+    # ARE asserted at smoke size (unlike the routing-speedup gate).
+    assert result["identity_mismatches"] == 0, (
+        "update-routing smoke: walkers diverged bitwise between modes"
+    )
+    assert result["eviction_mismatches"] == 0, (
+        "update-routing smoke: cache evictions differed between modes"
+    )
+    return result
+
+
 def _smoke_sharded_build() -> Dict[str, Any]:
     module = _load("bench_sharded_build.py")
     with _patched(module, GRAPH_NODES=150, INDEX_WALKERS=20, WALK_STEPS=4,
@@ -274,6 +290,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_table3_broadcasting.py": _smoke_table3,
     "bench_table4_rdd.py": _smoke_table4,
     "bench_table5_comparison.py": _smoke_table5,
+    "bench_update_routing.py": _smoke_update_routing,
     "bench_zero_copy_serve.py": _smoke_zero_copy_serve,
 }
 

@@ -508,6 +508,7 @@ def _cmd_replay(args: argparse.Namespace, out) -> int:
     options = scenarios.ReplayOptions(
         batch_size=args.batch_size,
         rebalance_every=args.rebalance_every,
+        max_retry_seconds=args.max_retry_seconds,
     )
     service = _make_service(args)
     try:
@@ -941,6 +942,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=0,
                         help="ask for a rebalance check every N batches; "
                              "0 disables (default: %(default)s)")
+    replay.add_argument("--max-retry-seconds", dest="max_retry_seconds",
+                        type=float, default=30.0,
+                        help="cumulative backoff budget per event before an "
+                             "HTTP replay gives up on persistent 429/503 "
+                             "backpressure (default: %(default)s)")
     replay.add_argument("--output",
                         help="append the per-scenario JSONL record here")
 

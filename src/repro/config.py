@@ -348,6 +348,13 @@ class UpdateParams:
         Re-estimate affected rows from exact walk distributions instead of
         Monte-Carlo.  Only feasible for small graphs; used by tests that
         want updates exactly equal to exact rebuilds.
+    reachability:
+        How update routing computes "which sources does this edge batch
+        touch" (and which cache entries die): ``"interval"`` routes through
+        the pre-order window labels of
+        :mod:`repro.core.reachability`; ``"bfs"`` keeps the per-level
+        frontier sweep as the bitwise-identity oracle.  Both return the
+        identical affected set — the switch trades routing cost only.
     """
 
     max_pending_edges: int = 10_000
@@ -356,6 +363,7 @@ class UpdateParams:
     snapshot_retain: int = 5
     snapshot_dir: Optional[str] = None
     exact: bool = False
+    reachability: str = "interval"
 
     def __post_init__(self) -> None:
         if self.max_pending_edges < 1:
@@ -378,6 +386,11 @@ class UpdateParams:
             raise ConfigurationError(
                 "snapshot_every > 0 requires snapshot_dir to be set"
             )
+        if self.reachability not in ("bfs", "interval"):
+            raise ConfigurationError(
+                f"reachability must be 'bfs' or 'interval', "
+                f"got {self.reachability!r}"
+            )
 
     def with_(self, **changes: Any) -> "UpdateParams":
         """Return a copy with the given fields replaced."""
@@ -392,6 +405,7 @@ class UpdateParams:
             "snapshot_retain": self.snapshot_retain,
             "snapshot_dir": self.snapshot_dir,
             "exact": self.exact,
+            "reachability": self.reachability,
         }
 
     @classmethod

@@ -233,10 +233,12 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         exact: bool = False,
         backend: Optional[ExecutorBackend] = None,
         resident: bool = True,
+        reachability: str = "interval",
     ) -> None:
         super().__init__(
             graph, params=params, exact=exact,
             stream_per_source=True, warm_start=False,
+            reachability=reachability,
         )
         self.plan = plan
         self.backend = backend or SerialBackend()
@@ -252,6 +254,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         sharding: ShardingParams,
         params: Optional[SimRankParams] = None,
         exact: bool = False,
+        reachability: str = "interval",
     ) -> "ShardedIncrementalWalker":
         """Construct plan, backend and walker from a :class:`ShardingParams`."""
         return cls(
@@ -261,6 +264,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
             exact=exact,
             backend=make_backend(sharding.backend, max_workers=sharding.max_workers),
             resident=sharding.resident_graph,
+            reachability=reachability,
         )
 
     def _build_rows(self, graph: DiGraph, sources) -> sparse.csr_matrix:
@@ -315,6 +319,7 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         clone = ShardedIncrementalWalker(
             self.graph, plan, params=self.params, exact=self.exact,
             backend=self.backend, resident=self.resident,
+            reachability=self.reachability,
         )
         clone.attach(self.index, system=self._system)
         return clone

@@ -573,11 +573,13 @@ class ReplayOptions:
     default replays as fast as possible.  ``rebalance_every`` asks the
     service for :meth:`~repro.service.sharded.ShardedQueryService.
     maybe_rebalance` after every N batches (``0`` disables; in-process
-    replay only) and records each decision.  ``update_wait`` and
-    ``max_attempts`` apply to the HTTP driver only: whether ``POST
-    /update`` blocks until applied, and how many times a 429/503
-    backpressure response is retried (with backoff) before the replay
-    fails loudly.
+    replay only) and records each decision.  ``update_wait``,
+    ``max_attempts`` and ``max_retry_seconds`` apply to the HTTP driver
+    only: whether ``POST /update`` blocks until applied, how many times a
+    429/503 backpressure response is retried (with linear backoff), and
+    the cumulative-sleep budget one event's retries may consume — the
+    replay fails loudly, naming the exhausted event's trace line, when
+    either bound is hit.
     """
 
     batch_size: int = 32
@@ -586,6 +588,7 @@ class ReplayOptions:
     rebalance_every: int = 0
     update_wait: bool = True
     max_attempts: int = 50
+    max_retry_seconds: float = 30.0
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
@@ -603,6 +606,10 @@ class ReplayOptions:
         if self.max_attempts < 1:
             raise ConfigurationError(
                 f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.max_retry_seconds <= 0:
+            raise ConfigurationError(
+                f"max_retry_seconds must be > 0, got {self.max_retry_seconds}"
             )
 
 
@@ -676,31 +683,37 @@ def write_records(results: Iterable[ScenarioResult], path: Any) -> None:
 
 def _iter_batches(
     trace: Trace, options: ReplayOptions
-) -> Iterator[Tuple[str, Any]]:
+) -> Iterator[Tuple[str, Any, int]]:
     """Group a trace into dispatch units, preserving event order.
 
-    Yields ``("query", [events])`` for runs of consecutive query events
-    (split by ``batch_size`` / ``batch_window``) and ``("update", event)``
-    for each update event.
+    Yields ``("query", [events], start_index)`` for runs of consecutive
+    query events (split by ``batch_size`` / ``batch_window``) and
+    ``("update", event, index)`` for each update event.  The index is the
+    unit's first event's position in ``trace.events``, so error paths can
+    name the JSONL trace line (``index + 2``: one header line, then
+    one 1-based line per event).
     """
     batch: List[TraceEvent] = []
-    for event in trace.events:
+    batch_start = 0
+    for index, event in enumerate(trace.events):
         if event.kind == UPDATE_EVENT:
             if batch:
-                yield QUERY_EVENT, batch
+                yield QUERY_EVENT, batch, batch_start
                 batch = []
-            yield UPDATE_EVENT, event
+            yield UPDATE_EVENT, event, index
             continue
         if batch and (
             len(batch) >= options.batch_size
             or (options.batch_window is not None
                 and event.at - batch[0].at > options.batch_window)
         ):
-            yield QUERY_EVENT, batch
+            yield QUERY_EVENT, batch, batch_start
             batch = []
+        if not batch:
+            batch_start = index
         batch.append(event)
     if batch:
-        yield QUERY_EVENT, batch
+        yield QUERY_EVENT, batch, batch_start
 
 
 def _accumulate_errors(query: Query, answer: Any, reference: np.ndarray,
@@ -801,7 +814,7 @@ def replay_trace(service, trace: Trace,
     mode = "approximate" if stats_before.get("approx_mode") else "exact"
     n_batches = 0
     start = time.perf_counter()
-    for kind, unit in _iter_batches(trace, options):
+    for kind, unit, _index in _iter_batches(trace, options):
         if kind == UPDATE_EVENT:
             if options.pace:
                 _sleep_until(start, unit.at)
@@ -855,30 +868,45 @@ def _http_request(connection: http.client.HTTPConnection, method: str,
 
 def _http_submit(connection, method: str, path: str,
                  payload: Dict[str, Any], accepted: Tuple[int, ...],
-                 options: ReplayOptions) -> Tuple[Dict[str, Any], int]:
+                 options: ReplayOptions,
+                 context: str = "") -> Tuple[Dict[str, Any], int]:
     """Submit with bounded retries on 429/503 backpressure responses.
 
     Returns ``(body, retries)``; raises :class:`repro.errors.
-    CloudWalkerError` on any other non-2xx status, and after
-    ``options.max_attempts`` consecutive backpressure refusals — the
-    documented 429/503 admission responses are retried, anything else is a
-    replay failure.
+    CloudWalkerError` on any other non-2xx status, after
+    ``options.max_attempts`` consecutive backpressure refusals, or once
+    the linear backoff would sleep past ``options.max_retry_seconds``
+    cumulatively — the backoff grows with the attempt number, so an
+    attempt bound alone lets a persistent 503 stall a replay for minutes.
+    ``context`` names the trace event being submitted and is embedded in
+    every failure message.
     """
     retries = 0
+    slept = 0.0
     for attempt in range(options.max_attempts):
         status, body = _http_request(connection, method, path, payload)
         if status in accepted:
             return body, retries
         if status in (429, 503):
             retries += 1
-            time.sleep(0.005 * (attempt + 1))
+            pause = 0.005 * (attempt + 1)
+            if slept + pause > options.max_retry_seconds:
+                raise CloudWalkerError(
+                    f"{method} {path}{context} still refused after {retries} "
+                    f"retries of 429/503 backpressure spanning {slept:.3f}s; "
+                    f"the next backoff would exceed max_retry_seconds="
+                    f"{options.max_retry_seconds}"
+                )
+            slept += pause
+            time.sleep(pause)
             continue
         raise CloudWalkerError(
-            f"{method} {path} failed with HTTP {status}: {body!r}"
+            f"{method} {path}{context} failed with HTTP {status}: {body!r}"
         )
     raise CloudWalkerError(
-        f"{method} {path} still refused ({options.max_attempts} attempts of "
-        f"429/503 backpressure); raise max_attempts or shrink the trace"
+        f"{method} {path}{context} still refused ({options.max_attempts} "
+        f"attempts of 429/503 backpressure); raise max_attempts or shrink "
+        f"the trace"
     )
 
 
@@ -912,14 +940,17 @@ def replay_trace_http(trace: Trace, host: str, port: int,
         budget = stats_before.get("accuracy_budget")
         n_batches = 0
         start = time.perf_counter()
-        for kind, unit in _iter_batches(trace, options):
+        for kind, unit, index in _iter_batches(trace, options):
             if kind == UPDATE_EVENT:
                 if options.pace:
                     _sleep_until(start, unit.at)
                 payload = {"edges": [[src, dst] for src, dst in unit.edges],
                            "wait": options.update_wait}
+                context = (f" (trace line {index + 2}: update event, "
+                           f"{len(unit.edges)} edges)")
                 body, tries = _http_submit(connection, "POST", "/update",
-                                           payload, (200, 202), options)
+                                           payload, (200, 202), options,
+                                           context=context)
                 retried += tries
                 if "index_version" in body:
                     versions.append(body["index_version"])
@@ -929,9 +960,11 @@ def replay_trace_http(trace: Trace, host: str, port: int,
             queries = [parse_query(event.query, default_k=default_top_k)
                        for event in unit]
             payload = {"queries": [event.query for event in unit]}
+            context = (f" (trace lines {index + 2}-{index + 1 + len(unit)}: "
+                       f"query batch of {len(unit)})")
             batch_start = time.perf_counter()
             body, tries = _http_submit(connection, "POST", "/query", payload,
-                                       (200,), options)
+                                       (200,), options, context=context)
             batch_seconds = time.perf_counter() - batch_start
             retried += tries
             n_batches += 1

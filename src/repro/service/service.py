@@ -523,6 +523,7 @@ class QueryService:
             **self._counters,
             "index_version": self._version,
             "pending_updates": self.pending_updates,
+            "reachability": self.update_params.reachability,
             "approx_mode": self.query_params is not self.params,
             "accuracy_budget": self.service_params.accuracy_budget,
             "query_walkers_served": self.query_params.query_walkers,

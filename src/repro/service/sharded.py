@@ -351,6 +351,7 @@ class ShardedQueryService(QueryService):
             backend=make_backend(sharding.backend,
                                  max_workers=sharding.max_workers),
             resident=sharding.resident_graph,
+            reachability=update_params.reachability,
         )
         mutator = GraphMutator(graph, params, update_params, walker=walker)
         index = mutator.build()
@@ -428,6 +429,7 @@ class ShardedQueryService(QueryService):
                 backend=make_backend(service.sharding.backend,
                                      max_workers=service.sharding.max_workers),
                 resident=service.sharding.resident_graph,
+                reachability=update_params.reachability,
             )
             walker.attach(service.index, system=system)
             service._mutator = GraphMutator(graph, service.params, update_params,
@@ -561,6 +563,7 @@ class ShardedQueryService(QueryService):
                 backend=make_backend(self.sharding.backend,
                                      max_workers=self.sharding.max_workers),
                 resident=self.sharding.resident_graph,
+                reachability=self.update_params.reachability,
             )
             # Attaching estimates the linear system once — shard-by-shard,
             # concurrently — exactly like the single-shard attach but with

@@ -68,12 +68,17 @@ class MutationResult:
         nodes are included.
     update_seconds:
         Wall-clock cost of the incremental re-index.
+    routing_seconds:
+        The slice of ``update_seconds`` spent computing the affected set
+        (the part ``UpdateParams.reachability`` switches between the BFS
+        sweep and the interval labels).
     """
 
     edges_added: int
     new_nodes: int
     affected: frozenset
     update_seconds: float
+    routing_seconds: float = 0.0
 
     @property
     def affected_rows(self) -> int:
@@ -120,6 +125,7 @@ class GraphMutator:
             exact=self.update_params.exact,
             stream_per_source=True,
             warm_start=False,
+            reachability=self.update_params.reachability,
         )
         self._pending: List[Edge] = []
 
@@ -297,6 +303,7 @@ class GraphMutator:
             new_nodes=int(info["new_nodes"]),
             affected=frozenset(info["affected"]),
             update_seconds=time.perf_counter() - start,
+            routing_seconds=float(info.get("routing_seconds", 0.0)),
         )
 
     def __repr__(self) -> str:

@@ -269,3 +269,39 @@ class TestForwardReachableSet:
         graph = generators.cycle_graph(4)
         with pytest.raises(NodeNotFoundError):
             walks.forward_reachable_set(graph, [7], 2)
+
+    def test_zero_steps_dedups_and_validates(self):
+        """steps=0 returns exactly the deduped, validated seed set."""
+        from repro.errors import NodeNotFoundError
+
+        graph = generators.cycle_graph(5)
+        result = walks.forward_reachable_set(graph, [3, 1, 3, 1, 1], 0)
+        assert result == {1, 3}
+        assert all(isinstance(node, int) for node in result)
+        # Validation must run even though no traversal happens.
+        with pytest.raises(NodeNotFoundError):
+            walks.forward_reachable_set(graph, [0, 9], 0)
+
+    def test_negative_steps_behaves_like_zero(self):
+        graph = generators.cycle_graph(5)
+        assert walks.forward_reachable_set(graph, [2, 4], -3) == {2, 4}
+
+    def test_numpy_integer_seeds(self):
+        graph = generators.cycle_graph(5)
+        seeds = np.array([0, 2], dtype=np.int64)
+        assert walks.forward_reachable_set(graph, seeds, 1) == {0, 1, 2, 3}
+
+    def test_visited_mask_tracks_grown_node_count(self):
+        """The mask is sized from the graph *passed in* — the post-growth
+        snapshot during an ``add_edges`` lineage step — so seeds and
+        frontiers may legally name nodes beyond the old count."""
+        old = DiGraph(3, [(0, 1), (1, 2)])
+        grown = DiGraph(6, [(0, 1), (1, 2), (2, 4), (4, 5)])
+        assert old.n_nodes < grown.n_nodes
+        result = walks.forward_reachable_set(grown, [2, 5], 2)
+        assert result == {2, 4, 5}
+        assert result == self._reference(grown, [2, 5], 2)
+
+    def test_zero_out_degree_frontier_terminates(self):
+        graph = DiGraph(4, [(0, 1)])  # nodes 1-3 have no out-edges
+        assert walks.forward_reachable_set(graph, [1, 2], 5) == {1, 2}

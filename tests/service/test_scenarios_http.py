@@ -14,6 +14,7 @@ Concurrent replays against a ``max_in_flight=1`` server exercise the
 import asyncio
 import sys
 import threading
+import time
 
 import pytest
 
@@ -23,7 +24,7 @@ from repro.config import (
     SimRankParams,
     UpdateParams,
 )
-from repro.errors import CloudWalkerError
+from repro.errors import CloudWalkerError, ConfigurationError
 from repro.graph import generators
 from repro.service import (
     ReplayOptions,
@@ -197,6 +198,41 @@ def test_update_storm_exhausting_429_retries_fails_loudly():
                 )
     finally:
         service.close()
+
+
+def test_persistent_backpressure_hits_the_sleep_cap_with_line_number():
+    """A persistent 429 must fail once cumulative backoff would pass
+    ``max_retry_seconds`` — long before a large ``max_attempts`` runs out
+    (linear backoff over 300 attempts would otherwise sleep ~¾ of an
+    hour per stuck event) — and the error names the trace line of the
+    exhausted event."""
+    graph = _graph()
+    trace = generate_trace("update_storm", N_NODES, n_events=4,
+                           storm_every=4, storm_edges=5, seed=2)
+    # The storm is the 5th event -> trace line 6 (header + 1-based events).
+    service = _sharded(graph,
+                       update_params=UpdateParams(max_pending_edges=2))
+    start = time.perf_counter()
+    try:
+        with _LoopThread(HttpServiceServer(service, port=0)) as loop:
+            with pytest.raises(CloudWalkerError,
+                               match=r"trace line 6.*429/503"):
+                replay_trace_http(
+                    trace, "127.0.0.1", loop.server.port,
+                    ReplayOptions(batch_size=8, update_wait=False,
+                                  max_attempts=10_000,
+                                  max_retry_seconds=0.02),
+                )
+    finally:
+        service.close()
+    assert time.perf_counter() - start < 30
+
+
+def test_max_retry_seconds_validation():
+    with pytest.raises(ConfigurationError):
+        ReplayOptions(max_retry_seconds=0.0)
+    with pytest.raises(ConfigurationError):
+        ReplayOptions(max_retry_seconds=-1.0)
 
 
 @pytest.mark.skipif(sys.platform != "linux",
