@@ -1,0 +1,323 @@
+"""Scatter backends — thread vs process pools across worker counts.
+
+The zero-copy serving work (`bench_zero_copy_serve.py`) proved that a
+resident working set collapses per-batch scatter payloads; this benchmark
+adds the missing multi-core axis: with the graph, linear system, and
+owned-node arrays all pool-resident, how do the ``threads`` and
+``processes`` serve backends compare as workers scale?
+
+For every ``(backend, workers)`` configuration in the sweep the same
+pair-heavy batch is answered and two quantities recorded:
+
+``payload_bytes_per_task``
+    Mean pickled bytes per scatter task (simulation *and* ranking tasks),
+    from the process backend's payload accounting.  Thread tasks cross no
+    process boundary, so their payload is identically zero; resident
+    process tasks ship only handles plus scalars.
+``critical_path_seconds``
+    The batch's wall-clock on a ``W``-worker deployment: longest-
+    processing-time-first makespan of the sequential baseline's per-shard
+    task seconds (``last_scatter_seconds`` + ``last_rank_seconds``) plus
+    the batch's serial share — the simulated-strong-scaling accounting of
+    ``bench_parallel_serve.py``.  The *sequential* run's timings feed the
+    makespan for every configuration because this host is pinned to one
+    core: per-task wall-clocks measured under a concurrent pool are
+    inflated by contention, not by work.  Measured end-to-end seconds are
+    reported per configuration alongside.
+
+A ``workers=0`` row records the sequential (serial-backend) scatter as the
+baseline.  A trailing ``kernels`` section reports the optional numba kernel
+tier: whether numba is importable here, whether the kernel twins answer
+bitwise-identically to the Python oracles, and (only when numba is
+available) the jitted speedup on the pair-combine inner loop.
+
+Gates:
+
+* every configuration's answers must be bitwise-identical to the
+  sequential sharded scatter and to the single-shard ``QueryService``;
+* for each backend, the critical-path speedup at 4 workers must be >= 2x
+  over the sequential scatter;
+* the kernel twins must match their oracles bitwise; when numba is
+  importable the jitted pair-combine must additionally be >= 1.5x faster
+  than the Python oracle (skipped, not failed, when numba is absent).
+
+Runs standalone too::
+
+    PYTHONPATH=src python benchmarks/bench_scatter_backends.py
+"""
+
+import time
+
+import numpy as np
+
+GRAPH_NODES = 1_500
+OUT_DEGREE = 6
+WALK_STEPS = 6
+INDEX_WALKERS = 40
+QUERY_WALKERS = 600
+NUM_SHARDS = 8
+WORKER_COUNTS = (1, 2, 4, 8)
+BACKENDS = ("threads", "processes")
+N_SOURCES = 96
+N_TOPK = 6
+TOP_K = 10
+MIN_SPEEDUP_AT_4 = 2.0
+MIN_KERNEL_SPEEDUP = 1.5
+KERNEL_BENCH_NODES = 400
+KERNEL_BENCH_REPEATS = 5
+SEED = 53
+
+
+def _params():
+    from repro.config import SimRankParams
+
+    return SimRankParams(
+        c=0.6, walk_steps=WALK_STEPS, jacobi_iterations=3,
+        index_walkers=INDEX_WALKERS, query_walkers=QUERY_WALKERS, seed=SEED,
+    )
+
+
+def _queries(n_nodes):
+    """The scatter-dominated batch shape of ``bench_parallel_serve``."""
+    from repro.service import PairQuery, TopKQuery
+
+    sources = list(range(min(N_SOURCES, n_nodes)))
+    queries = [PairQuery(a, b) for a, b in zip(sources[0::2], sources[1::2])]
+    queries.extend(TopKQuery(source, k=TOP_K) for source in sources[:N_TOPK])
+    return queries
+
+
+def _answers_equal(left, right):
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, (float, list)):
+            if a != b:
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True
+
+
+def _makespan(seconds, workers):
+    """Longest-processing-time-first schedule of tasks onto ``workers``."""
+    loads = [0.0] * workers
+    for task in sorted(seconds, reverse=True):
+        loads[loads.index(min(loads))] += task
+    return max(loads) if loads else 0.0
+
+
+def _service(graph, index, backend, workers):
+    from repro.config import ServiceParams, ShardingParams
+    from repro.service import ShardedQueryService
+
+    return ShardedQueryService(
+        graph, index, _params(),
+        ServiceParams(cache_capacity=0, serve_backend=backend,
+                      serve_workers=workers),
+        sharding=ShardingParams(num_shards=NUM_SHARDS),
+    )
+
+
+def _measure_config(graph, index, queries, backend, workers):
+    """One steady-state batch for a configuration.
+
+    Returns ``(answers, measured_seconds, payload_bytes, task_count)``.
+    The warm-up batch forks/marks the pool and registers residency; the
+    measured batch samples the process backend's per-run payload lists so
+    ranking *and* simulation tasks are both counted.
+    """
+    with _service(graph, index, backend, workers) as service:
+        service.run_batch(queries)  # warm-up: fork pool, register residency
+        serve_backend = service._serve_backend
+        sizes = []
+        record = getattr(serve_backend, "_record_payload", None)
+        if record is not None:
+            def recording(run_sizes, _record=record):
+                sizes.extend(run_sizes)
+                _record(run_sizes)
+            serve_backend._record_payload = recording
+        start = time.perf_counter()
+        answers = service.run_batch(queries)
+        measured = time.perf_counter() - start
+    return answers, measured, sum(sizes), len(sizes)
+
+
+def _kernel_section():
+    """Identity (always) and jitted speedup (numba only) of the kernel tier."""
+    from repro.core import kernels, montecarlo
+    from repro.graph import generators
+
+    graph = generators.erdos_renyi_graph(KERNEL_BENCH_NODES,
+                                         KERNEL_BENCH_NODES * 5, seed=SEED)
+    params = _params()
+    sources = list(range(0, KERNEL_BENCH_NODES, 7))
+    distributions = montecarlo.estimate_walk_distributions_batch(
+        graph, sources, params, walkers=200)
+    weights = np.linspace(0.5, 1.5, graph.n_nodes)
+    pairs = list(zip(sources[0::2], sources[1::2]))
+
+    def _combine_all(combine):
+        return [combine(distributions[a], distributions[b], weights,
+                        params.c, params.walk_steps) for a, b in pairs]
+
+    oracle_seconds = []
+    kernel_seconds = []
+    for _ in range(KERNEL_BENCH_REPEATS):
+        start = time.perf_counter()
+        oracle = _combine_all(montecarlo.combine_pair_distributions)
+        oracle_seconds.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        twin = _combine_all(kernels.combine_pair)
+        kernel_seconds.append(time.perf_counter() - start)
+    identical = oracle == twin
+    speedup = (min(oracle_seconds) / max(min(kernel_seconds), 1e-9)
+               if kernels.NUMBA_AVAILABLE else None)
+    return {
+        "numba_available": kernels.NUMBA_AVAILABLE,
+        "bitwise_identical": identical,
+        "combine_pair_speedup": (round(speedup, 2)
+                                 if speedup is not None else None),
+        "n_pairs": len(pairs),
+    }
+
+
+def scatter_backends_experiment():
+    from repro.config import ServiceParams, ShardingParams
+    from repro.core.diagonal import build_diagonal_index
+    from repro.graph import generators
+    from repro.service import QueryService, ShardedQueryService
+
+    params = _params()
+    graph = generators.copying_model_graph(
+        GRAPH_NODES, out_degree=OUT_DEGREE, seed=SEED, name="scatter-backends"
+    )
+    index = build_diagonal_index(graph, params)
+    queries = _queries(graph.n_nodes)
+
+    single = QueryService(graph, index, params)
+    reference = single.run_batch(queries)
+
+    # Sequential sharded scatter: identity anchor and critical-path baseline.
+    with ShardedQueryService(
+        graph, index, params,
+        ServiceParams(cache_capacity=0),
+        sharding=ShardingParams(num_shards=NUM_SHARDS),
+    ) as sequential:
+        sequential.run_batch(queries)
+        start = time.perf_counter()
+        sequential_answers = sequential.run_batch(queries)
+        sequential_seconds = time.perf_counter() - start
+        baseline_tasks = [
+            sequential.last_scatter_seconds.get(shard, 0.0)
+            + sequential.last_rank_seconds.get(shard, 0.0)
+            for shard in range(NUM_SHARDS)
+        ]
+    serial_share = max(sequential_seconds - sum(baseline_tasks), 0.0)
+    sequential_critical = sum(baseline_tasks) + serial_share
+    all_identical = (_answers_equal(reference, sequential_answers))
+
+    rows = [{
+        "backend": "serial",
+        "workers": 0,  # 0 = the sequential in-process scatter (baseline)
+        "critical_path_seconds": round(sequential_critical, 4),
+        "measured_seconds": round(sequential_seconds, 4),
+        "speedup": 1.0,
+        "payload_bytes_per_task": 0,
+        "bitwise_identical": all_identical,
+    }]
+    speedups = {backend: {} for backend in BACKENDS}
+    for backend in BACKENDS:
+        for workers in WORKER_COUNTS:
+            answers, measured, payload, tasks = _measure_config(
+                graph, index, queries, backend, workers)
+            identical = (_answers_equal(reference, answers)
+                         and _answers_equal(sequential_answers, answers))
+            all_identical &= identical
+            critical = _makespan(baseline_tasks, workers) + serial_share
+            speedup = sequential_critical / max(critical, 1e-9)
+            speedups[backend][workers] = speedup
+            rows.append({
+                "backend": backend,
+                "workers": workers,
+                "critical_path_seconds": round(critical, 4),
+                "measured_seconds": round(measured, 4),
+                "speedup": round(speedup, 2),
+                "payload_bytes_per_task": (round(payload / tasks)
+                                           if tasks else 0),
+                "bitwise_identical": identical,
+            })
+    kernel_section = _kernel_section()
+    kernels_pass = kernel_section["bitwise_identical"] and (
+        not kernel_section["numba_available"]
+        or kernel_section["combine_pair_speedup"] >= MIN_KERNEL_SPEEDUP
+    )
+    speedup_at_4 = {backend: round(speedups[backend].get(4, 0.0), 2)
+                    for backend in BACKENDS}
+    return {
+        "rows": rows,
+        "speedup_at_4": speedup_at_4,
+        "min_speedup_at_4": min(speedup_at_4.values()),
+        "gate_passed": bool(
+            all(value >= MIN_SPEEDUP_AT_4 for value in speedup_at_4.values())
+            and kernels_pass
+        ),
+        "all_identical": all_identical,
+        "kernels": kernel_section,
+        "kernels_pass": kernels_pass,
+        "graph_nodes": graph.n_nodes,
+        "graph_edges": graph.n_edges,
+        "num_shards": NUM_SHARDS,
+        "n_queries": len(queries),
+        "query_walkers": QUERY_WALKERS,
+    }
+
+
+def _check_and_render(result) -> str:
+    from repro.bench import reporting
+
+    rendered = reporting.format_table(
+        result["rows"],
+        title=(f"Thread vs process scatter backends for {result['n_queries']} "
+               f"queries on a {result['graph_nodes']}-node graph "
+               f"({result['num_shards']} shards, resident working set, "
+               f"R'={result['query_walkers']}; critical path = W-worker "
+               "wall-clock; workers=0 is the sequential scatter)"),
+    )
+    assert result["all_identical"], (
+        "a backend/worker configuration diverged bitwise from the "
+        "sequential/single-shard answers"
+    )
+    for backend, speedup in result["speedup_at_4"].items():
+        assert speedup >= MIN_SPEEDUP_AT_4, (
+            f"critical-path speedup at 4 {backend} workers is only "
+            f"{speedup:.2f}x (needs >= {MIN_SPEEDUP_AT_4}x)"
+        )
+    assert result["kernels_pass"], (
+        f"kernel tier gate failed: {result['kernels']}"
+    )
+    return rendered
+
+
+def test_scatter_backends(benchmark, results_dir):
+    from repro.bench import reporting
+
+    result = benchmark.pedantic(scatter_backends_experiment, rounds=1,
+                                iterations=1)
+    rendered = _check_and_render(result)
+    reporting.save_results("scatter_backends", result, rendered, results_dir)
+    print("\n" + rendered)
+
+
+if __name__ == "__main__":
+    from repro.bench import reporting
+
+    outcome = scatter_backends_experiment()
+    rendered = _check_and_render(outcome)
+    reporting.save_results("scatter_backends", outcome, rendered)
+    print(rendered)
+    kernels = outcome["kernels"]
+    print(f"speedup at 4 workers: {outcome['speedup_at_4']}, "
+          f"answers bitwise-identical: {outcome['all_identical']}, "
+          f"numba available: {kernels['numba_available']} "
+          f"(kernel twins identical: {kernels['bitwise_identical']})")

@@ -57,6 +57,7 @@ SERVING_GATES = {
     "http_serve": ("qps_speedup", 2.0, "all_identical", bool),
     "rebalance": ("p99_improvement", 1.5, "all_identical", bool),
     "scenarios": ("approx_p99_improvement", 1.5, "all_identical", bool),
+    "scatter_backends": ("min_speedup_at_4", 2.0, "all_identical", bool),
 }
 
 #: Benchmark script name -> result-file stem, for tying a consolidation to
@@ -113,6 +114,33 @@ def _scenario_trajectory(results_dir: Path) -> list:
             "accuracy_budget": record.get("accuracy_budget"),
             "realized_mean_error": record.get("realized_mean_error"),
             "answer_checksum": record.get("answer_checksum"),
+        })
+    return rows
+
+
+def _scatter_sweep(results_dir: Path) -> list:
+    """Thread-vs-process worker-sweep rows from ``scatter_backends.json``.
+
+    ``bench_scatter_backends.py`` persists one row per ``(backend,
+    workers)`` configuration with per-task payload bytes and critical-path
+    seconds; the consolidated summary carries the whole sweep so the
+    multi-core serving trajectory (and the payload cost of each backend)
+    is diffable across PRs.  An absent file yields an empty table (the
+    ``scatter_backends`` *gate* row still reports it as missing).
+    """
+    path = results_dir / "scatter_backends.json"
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    rows = []
+    for record in payload.get("rows", []):
+        rows.append({
+            "backend": record.get("backend"),
+            "workers": record.get("workers"),
+            "payload_bytes_per_task": record.get("payload_bytes_per_task"),
+            "critical_path_seconds": record.get("critical_path_seconds"),
+            "speedup": record.get("speedup"),
+            "bitwise_identical": record.get("bitwise_identical"),
         })
     return rows
 
@@ -181,6 +209,7 @@ def consolidate_serving(results_dir: Path = RESULTS_DIR,
     summary = {
         "benchmarks": benchmarks,
         "scenarios": _scenario_trajectory(results_dir),
+        "scatter_backend_sweep": _scatter_sweep(results_dir),
         "all_gates_passed": all(
             row.get("gate_passed") for row in benchmarks.values()
         ),

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Kernel-tier identity smoke: jitted twins vs their Python oracles.
+
+The optional numba kernel tier (``repro.core.kernels``) re-implements three
+inner loops — pair-distribution combination, the self-meeting column
+assembly, and the bounded-hop interval Dijkstra — in a jit-compilable
+style.  Their contract is *bitwise identity* with the Python oracles in
+``repro.core.montecarlo`` / ``repro.core.reachability``: enabling
+``--kernels numba`` may only change speed, never an answer.
+
+This smoke exercises that contract end to end on tiny inputs:
+
+1. always: the kernel twins (running as plain Python when numba is absent)
+   must reproduce the oracles bit for bit, and a tiny ``QueryService``
+   batch under ``ServiceParams(kernels="numba")`` must equal the default
+   ``python`` tier exactly;
+2. when numba **is** importable, the same checks run with the twins
+   actually jit-compiled.
+
+When numba is absent the jitted half is reported as skipped — not failed —
+so offline checkouts (the supported install) still pass.  Exit status: 0
+on identity, 1 on any mismatch.
+
+Usage::
+
+    PYTHONPATH=src python scripts/kernel_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC_DIR = REPO_ROOT / "src"
+if str(SRC_DIR) not in sys.path:
+    sys.path.insert(0, str(SRC_DIR))
+
+import numpy as np  # noqa: E402
+
+
+def _check(label: str, ok: bool, failures: list) -> None:
+    print(f"kernel-smoke: {label}: {'ok' if ok else 'MISMATCH'}")
+    if not ok:
+        failures.append(label)
+
+
+def _kernel_identity(failures: list) -> None:
+    """The three twins vs their oracles, on a small random graph."""
+    from repro.config import SimRankParams
+    from repro.core import kernels, montecarlo, reachability
+    from repro.graph import generators
+
+    graph = generators.erdos_renyi_graph(120, 600, seed=7)
+    params = SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=2,
+                           index_walkers=15, query_walkers=40, seed=7)
+    sources = list(range(0, graph.n_nodes, 5))
+    distributions = montecarlo.estimate_walk_distributions_batch(
+        graph, sources, params, walkers=80)
+    weights = np.linspace(0.4, 1.6, graph.n_nodes)
+
+    pairs = list(zip(sources[0::2], sources[1::2]))
+    combine_ok = all(
+        montecarlo.combine_pair_distributions(
+            distributions[a], distributions[b], weights,
+            params.c, params.walk_steps)
+        == kernels.combine_pair(distributions[a], distributions[b], weights,
+                                params.c, params.walk_steps)
+        for a, b in pairs
+    )
+    _check("combine_pair twin vs oracle", combine_ok, failures)
+
+    meeting_ok = all(
+        montecarlo.self_meeting_column(distributions[node], params.c)
+        == kernels.self_meeting(distributions[node], params.c)
+        for node in sources
+    )
+    _check("self_meeting twin vs oracle", meeting_ok, failures)
+
+    labels = reachability.shared_labels(graph)
+    ball_ok = all(
+        kernels.interval_ball(labels, [seed_node], steps)
+        == reachability.reachable_set(graph, [seed_node], steps, mode="bfs")
+        for seed_node in sources[:8]
+        for steps in (1, 3, 6)
+    )
+    _check("interval_ball twin vs bfs oracle", ball_ok, failures)
+
+
+def _service_identity(failures: list) -> None:
+    """A tiny service batch: kernels='numba' must equal kernels='python'."""
+    from repro.config import ServiceParams, SimRankParams
+    from repro.core import kernels
+    from repro.graph import generators
+    from repro.service import PairQuery, QueryService, TopKQuery
+
+    graph = generators.copying_model_graph(100, out_degree=4, seed=9)
+    params = SimRankParams(c=0.6, walk_steps=4, jacobi_iterations=2,
+                           index_walkers=15, query_walkers=40, seed=9)
+    queries = [PairQuery(a, a + 1) for a in range(0, 20, 2)]
+    queries.extend(TopKQuery(source, k=5) for source in range(3))
+
+    requested_before = kernels.requested()
+    try:
+        python_service = QueryService.build(
+            graph, params, service_params=ServiceParams(
+                cache_capacity=0, kernels="python"))
+        python_answers = python_service.run_batch(queries)
+        numba_service = QueryService.build(
+            graph, params, service_params=ServiceParams(
+                cache_capacity=0, kernels="numba"))
+        numba_answers = numba_service.run_batch(queries)
+    finally:
+        kernels.request(requested_before)
+
+    identical = len(python_answers) == len(numba_answers) and all(
+        (a == b if isinstance(a, (float, list)) else np.array_equal(a, b))
+        for a, b in zip(python_answers, numba_answers)
+    )
+    _check("service batch kernels=numba vs kernels=python", identical,
+           failures)
+
+
+def main() -> int:
+    from repro.core import kernels
+
+    failures: list = []
+    if kernels.NUMBA_AVAILABLE:
+        print("kernel-smoke: numba importable -> twins run jit-compiled")
+    else:
+        print("kernel-smoke: numba not importable -> twins run as plain "
+              "Python (jitted half skipped, not failed)")
+    _kernel_identity(failures)
+    _service_identity(failures)
+    if failures:
+        print(f"kernel-smoke: FAILED ({len(failures)} mismatch(es): "
+              f"{', '.join(failures)})", file=sys.stderr)
+        return 1
+    print("kernel-smoke: all identity checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,6 +171,23 @@ def _smoke_zero_copy_serve() -> Dict[str, Any]:
     return result
 
 
+def _smoke_scatter_backends() -> Dict[str, Any]:
+    module = _load("bench_scatter_backends.py")
+    with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=15,
+                  QUERY_WALKERS=60, NUM_SHARDS=2, WORKER_COUNTS=(1, 2),
+                  BACKENDS=("threads",), N_SOURCES=16, N_TOPK=2,
+                  KERNEL_BENCH_NODES=60, KERNEL_BENCH_REPEATS=1):
+        result = module.scatter_backends_experiment()
+    # Bitwise identity (of the scatter answers AND the kernel twins) is
+    # size-independent, so it IS asserted at smoke size (unlike the
+    # critical-path and jitted-speedup gates).
+    assert result["all_identical"], "a scatter smoke backend diverged bitwise"
+    assert result["kernels"]["bitwise_identical"], (
+        "a kernel twin diverged bitwise from its Python oracle at smoke size"
+    )
+    return result
+
+
 def _smoke_rebalance() -> Dict[str, Any]:
     module = _load("bench_rebalance.py")
     with _patched(module, GRAPH_NODES=150, WALK_STEPS=3, INDEX_WALKERS=15,
@@ -282,6 +299,7 @@ SMOKE_RUNNERS: Dict[str, Callable[[], Any]] = {
     "bench_incremental_service.py": _smoke_incremental_service,
     "bench_parallel_serve.py": _smoke_parallel_serve,
     "bench_rebalance.py": _smoke_rebalance,
+    "bench_scatter_backends.py": _smoke_scatter_backends,
     "bench_scenarios.py": _smoke_scenarios,
     "bench_service_throughput.py": _smoke_service_throughput,
     "bench_sharded_build.py": _smoke_sharded_build,

@@ -213,6 +213,14 @@ class ServiceParams:
         Explicit walk-step count of the approximate mode; requires
         ``accuracy_budget``.  ``None`` keeps the exact ``walk_steps``
         unless calibration chooses a shorter walk.
+    kernels:
+        Which implementation tier runs the core inner loops (the
+        pair-combine step dot, the self-meeting accumulation, and the
+        interval-reachability Dijkstra): ``"python"`` (the NumPy oracles)
+        or ``"numba"`` (jitted twins, bitwise-identical by construction —
+        see :mod:`repro.core.kernels`).  ``"numba"`` on an interpreter
+        without numba installed is not an error: execution falls back to
+        the oracles, so the flag is safe to bake into deployment configs.
     """
 
     cache_capacity: int = 1024
@@ -227,8 +235,12 @@ class ServiceParams:
     accuracy_budget: Optional[float] = None
     approx_walkers: Optional[int] = None
     approx_steps: Optional[int] = None
+    kernels: str = "python"
 
     _VALID_SERVE_BACKENDS = ("serial", "threads", "processes")
+    # Kept in sync with repro.core.kernels.KERNEL_MODES (hardcoded here to
+    # keep config importable before the core package).
+    _VALID_KERNELS = ("python", "numba")
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -288,6 +300,11 @@ class ServiceParams:
                 raise ConfigurationError(
                     f"approx_steps must be >= 1, got {self.approx_steps}"
                 )
+        if self.kernels not in self._VALID_KERNELS:
+            raise ConfigurationError(
+                f"kernels must be one of {self._VALID_KERNELS}, "
+                f"got {self.kernels!r}"
+            )
 
     def with_(self, **changes: Any) -> "ServiceParams":
         """Return a copy with the given fields replaced."""
@@ -308,6 +325,7 @@ class ServiceParams:
             "accuracy_budget": self.accuracy_budget,
             "approx_walkers": self.approx_walkers,
             "approx_steps": self.approx_steps,
+            "kernels": self.kernels,
         }
 
     @classmethod

@@ -1,0 +1,354 @@
+"""Optional compiled twins of the serving hot loops (the *kernel tier*).
+
+Three pure-Python/NumPy inner loops dominate the post-zero-copy profile:
+the per-step support intersection of
+:func:`repro.core.montecarlo.combine_pair_distributions`, the per-node
+accumulation of :func:`repro.core.montecarlo.self_meeting_column`, and the
+bounded-hop interval Dijkstra of :mod:`repro.core.reachability`.  This
+module provides numba-jitted twins behind a process-wide feature flag
+(``ServiceParams.kernels`` / ``repro --kernels {python,numba}``):
+
+* ``request("numba")`` activates the jitted twins **only when numba is
+  importable**; on a numba-less interpreter the flag degrades to the pure
+  NumPy oracles with zero behaviour change (``active()`` keeps answering
+  ``"python"``).  Nothing in the package imports numba at module scope —
+  the dependency stays optional (see ``dev-requirements.txt``).
+* Every kernel is **bitwise-identical** to its oracle by construction, not
+  by luck: float summation replicates NumPy's pairwise algorithm
+  (:func:`_pairwise_sum` — same 8-wide unrolled blocks, same 128-element
+  split), elementwise products keep the oracle's operation order (multiply
+  values first, weights second), the self-meeting accumulation adds in
+  input order exactly like ``np.bincount``, and the interval ball is an
+  integer-exact Dijkstra whose result set is uniquely determined.  The
+  kernel *source* runs unjitted too, so the identity gates in
+  ``tests/core/test_kernels.py`` and ``scripts/kernel_smoke.py`` verify
+  the algorithms even on interpreters without numba.
+
+The flag is deliberately process-global (like NumPy's own threading
+knobs): the kernels are module-level free functions called from deep
+inside the core, and serving stacks run one mode per process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Set, Tuple
+
+import numpy as np
+
+KERNEL_MODES: Tuple[str, ...] = ("python", "numba")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # the supported degraded path: plain-Python kernels
+    NUMBA_AVAILABLE = False
+
+    def njit(*args: Any, **kwargs: Any):  # type: ignore[misc]
+        """Identity decorator so kernel source stays importable (and
+        testable) without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(function):
+            return function
+
+        return wrap
+
+
+_requested: str = "python"
+
+
+def request(mode: str) -> str:
+    """Request a kernel mode; returns the mode actually active.
+
+    ``"numba"`` on a numba-less interpreter is *not* an error — the
+    request is recorded (so ``requested()`` reflects operator intent) and
+    execution falls back to the Python oracles.  Validation of the mode
+    string itself lives in ``ServiceParams``; this guards direct callers.
+    """
+    if mode not in KERNEL_MODES:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"kernels must be one of {KERNEL_MODES}, got {mode!r}"
+        )
+    global _requested
+    _requested = mode
+    return active()
+
+
+def requested() -> str:
+    """The last requested mode (may exceed what the interpreter can run)."""
+    return _requested
+
+
+def active() -> str:
+    """The mode actually executing: ``"numba"`` only when importable."""
+    return "numba" if _requested == "numba" and NUMBA_AVAILABLE else "python"
+
+
+def available() -> bool:
+    """Whether the compiled tier can run in this interpreter."""
+    return NUMBA_AVAILABLE
+
+
+# --------------------------------------------------------------------- #
+# NumPy-identical pairwise summation
+# --------------------------------------------------------------------- #
+@njit(cache=True)
+def _pairwise_sum(values: np.ndarray, lo: int, n: int) -> float:
+    """Sum ``values[lo:lo+n]`` exactly like NumPy's pairwise reduction.
+
+    Replicates ``pairwise_sum`` from NumPy's float add loop: sequential
+    below 8 elements, one 8-accumulator unrolled block up to 128, and a
+    recursive halving split (rounded down to a multiple of 8) above —
+    byte-for-byte the rounding sequence of ``ndarray.sum`` on a
+    contiguous float64 vector, which is what makes the jitted pair
+    combine bitwise-identical to the oracle's ``products.sum()``.
+    """
+    if n < 8:
+        res = 0.0
+        for i in range(n):
+            res += values[lo + i]
+        return res
+    if n <= 128:
+        r0 = values[lo]
+        r1 = values[lo + 1]
+        r2 = values[lo + 2]
+        r3 = values[lo + 3]
+        r4 = values[lo + 4]
+        r5 = values[lo + 5]
+        r6 = values[lo + 6]
+        r7 = values[lo + 7]
+        i = 8
+        while i < n - (n % 8):
+            r0 += values[lo + i]
+            r1 += values[lo + i + 1]
+            r2 += values[lo + i + 2]
+            r3 += values[lo + i + 3]
+            r4 += values[lo + i + 4]
+            r5 += values[lo + i + 5]
+            r6 += values[lo + i + 6]
+            r7 += values[lo + i + 7]
+            i += 8
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+        while i < n:
+            res += values[lo + i]
+            i += 1
+        return res
+    half = n // 2
+    half -= half % 8
+    return _pairwise_sum(values, lo, half) + _pairwise_sum(values, lo + half,
+                                                           n - half)
+
+
+# --------------------------------------------------------------------- #
+# Pair-combine step kernel
+# --------------------------------------------------------------------- #
+@njit(cache=True)
+def _step_dot(left_nodes: np.ndarray, left_values: np.ndarray,
+              right_nodes: np.ndarray, right_values: np.ndarray,
+              weights: np.ndarray) -> float:
+    """One step's weighted dot over the common support of two sparse rows.
+
+    Two-pointer merge over the sorted-unique node arrays (the same pairs,
+    in the same ascending-node order, as the oracle's ``searchsorted``
+    intersection), products formed with the oracle's operation order —
+    values first, weights second — and summed with :func:`_pairwise_sum`.
+    """
+    nl = left_nodes.shape[0]
+    nr = right_nodes.shape[0]
+    products = np.empty(min(nl, nr), dtype=np.float64)
+    count = 0
+    i = 0
+    j = 0
+    while i < nl and j < nr:
+        a = left_nodes[i]
+        b = right_nodes[j]
+        if a == b:
+            p = left_values[i] * right_values[j]
+            products[count] = p * weights[a]
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return _pairwise_sum(products, 0, count)
+
+
+def combine_pair(dist_i: Any, dist_j: Any, weights: np.ndarray,
+                 decay: float, steps: int) -> float:
+    """Kernel twin of :func:`repro.core.montecarlo.combine_pair_distributions`.
+
+    The step loop (and the ``total += factor * step_dot`` accumulation
+    order) stays in Python — it runs ``steps + 1`` times — while the
+    per-step intersection and summation run jitted.
+    """
+    total = 0.0
+    factor = 1.0
+    for step in range(steps + 1):
+        left_nodes, left_values = dist_i.per_step[step]
+        right_nodes, right_values = dist_j.per_step[step]
+        if len(left_nodes) and len(right_nodes):
+            step_total = _step_dot(left_nodes, left_values,
+                                   right_nodes, right_values, weights)
+            if step_total != 0.0:
+                total += factor * float(step_total)
+        factor *= decay
+    return float(total)
+
+
+# --------------------------------------------------------------------- #
+# Self-meeting accumulation kernel
+# --------------------------------------------------------------------- #
+@njit(cache=True)
+def _accumulate_ordered(inverse: np.ndarray, values: np.ndarray,
+                        n_unique: int) -> np.ndarray:
+    """``np.bincount(inverse, weights=values)`` twin: strict input order."""
+    out = np.zeros(n_unique, dtype=np.float64)
+    for i in range(inverse.shape[0]):
+        out[inverse[i]] += values[i]
+    return out
+
+
+def self_meeting(distributions: Any, decay: float) -> dict:
+    """Kernel twin of :func:`repro.core.montecarlo.self_meeting_column`.
+
+    The support assembly mirrors the oracle verbatim (same concatenation,
+    same ``factor * values * values`` association, same ``np.unique``);
+    only the final per-node accumulation runs jitted, adding in input
+    order exactly like ``np.bincount``.
+    """
+    node_chunks = []
+    value_chunks = []
+    factor = 1.0
+    for step in range(distributions.steps + 1):
+        nodes, values = distributions.per_step[step]
+        if len(nodes):
+            node_chunks.append(nodes)
+            value_chunks.append(factor * values * values)
+        factor *= decay
+    if not node_chunks:
+        return {}
+    all_nodes = np.concatenate(node_chunks)
+    all_values = np.concatenate(value_chunks)
+    unique_nodes, inverse = np.unique(all_nodes, return_inverse=True)
+    sums = _accumulate_ordered(np.ascontiguousarray(inverse, dtype=np.int64),
+                               all_values, len(unique_nodes))
+    return dict(zip(unique_nodes.tolist(), sums.tolist()))
+
+
+# --------------------------------------------------------------------- #
+# Bounded-hop interval Dijkstra kernel
+# --------------------------------------------------------------------- #
+@njit(cache=True)
+def _heap_push(heap: np.ndarray, heap_size: int, key: np.int64):
+    """Push onto a binary min-heap of encoded keys; returns (heap, size)."""
+    if heap_size == heap.shape[0]:
+        grown = np.empty(heap.shape[0] * 2, dtype=np.int64)
+        grown[:heap_size] = heap[:heap_size]
+        heap = grown
+    heap[heap_size] = key
+    i = heap_size
+    heap_size += 1
+    while i > 0:
+        parent = (i - 1) // 2
+        if heap[parent] > heap[i]:
+            heap[parent], heap[i] = heap[i], heap[parent]
+            i = parent
+        else:
+            break
+    return heap, heap_size
+
+
+@njit(cache=True)
+def _interval_ball_kernel(pre: np.ndarray, size: np.ndarray,
+                          depth: np.ndarray, depth_pre: np.ndarray,
+                          o_pre: np.ndarray, o_depth: np.ndarray,
+                          o_head: np.ndarray, seeds: np.ndarray,
+                          steps: int, n: int) -> np.ndarray:
+    """Membership mask (pre-order positions) of the bounded-hop ball.
+
+    Integer-exact Dijkstra over the window tree plus overlay — the same
+    relaxation rules as :func:`repro.core.reachability._interval_ball`
+    (window descent keeps ``candidate < best and candidate <= steps``;
+    overlay exits need ``hops < steps`` and ``tail_hops < steps``).  Heap
+    entries encode ``(hops, node)`` as ``hops * (n + 1) + node``, which
+    preserves the oracle's lexicographic pop order; the returned set is
+    unique regardless (all arithmetic is integral).
+    """
+    infinity = np.int64(1) << np.int64(62)
+    stride = np.int64(n + 1)
+    best = np.full(n, infinity, dtype=np.int64)
+    member = np.zeros(n, dtype=np.bool_)
+    m = o_pre.shape[0]
+    heap = np.empty(64, dtype=np.int64)
+    heap_size = 0
+    for s in range(seeds.shape[0]):
+        heap, heap_size = _heap_push(heap, heap_size, np.int64(seeds[s]))
+    while heap_size > 0:
+        key = heap[0]
+        heap_size -= 1
+        heap[0] = heap[heap_size]
+        i = 0
+        while True:
+            left = 2 * i + 1
+            right = left + 1
+            smallest = i
+            if left < heap_size and heap[left] < heap[smallest]:
+                smallest = left
+            if right < heap_size and heap[right] < heap[smallest]:
+                smallest = right
+            if smallest == i:
+                break
+            heap[i], heap[smallest] = heap[smallest], heap[i]
+            i = smallest
+        hops = key // stride
+        node = key % stride
+        lo = pre[node]
+        if best[lo] <= hops:
+            continue
+        hi = lo + size[node]
+        base = hops - depth[node]
+        any_hit = False
+        for p in range(lo, hi):
+            candidate = depth_pre[p] + base
+            if candidate < best[p] and candidate <= steps:
+                best[p] = candidate
+                member[p] = True
+                any_hit = True
+        if not any_hit:
+            continue
+        if m > 0 and hops < steps:
+            first = np.searchsorted(o_pre, lo, side="left")
+            last = np.searchsorted(o_pre, hi, side="left")
+            for k in range(first, last):
+                tail_hops = o_depth[k] + base
+                if tail_hops < steps:
+                    head = o_head[k]
+                    dist = tail_hops + 1
+                    if dist < best[pre[head]]:
+                        heap, heap_size = _heap_push(
+                            heap, heap_size, np.int64(dist) * stride + head)
+    return member
+
+
+def interval_ball(labels: Any, seeds: Sequence[int], steps: int) -> Set[int]:
+    """Kernel twin of the interval Dijkstra; same contract, same set.
+
+    ``seeds`` must be validated/deduplicated and ``steps >= 1``, exactly
+    like the oracle's contract (the caller handles the trivial radii).
+    """
+    steps = min(int(steps), labels.n)
+    member = _interval_ball_kernel(
+        labels.pre, labels.size, labels.depth, labels.depth_pre,
+        labels.overlay_pre, labels.overlay_depth, labels.overlay_head,
+        np.asarray(list(seeds), dtype=np.int64), steps, labels.n,
+    )
+    positions = np.flatnonzero(member)
+    if positions.size == 0:
+        return set()
+    return set(labels.order[positions].tolist())

@@ -62,7 +62,7 @@ from typing import Dict, Iterable, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.core import walks
+from repro.core import kernels, walks
 from repro.errors import ConfigurationError
 from repro.graph.digraph import DiGraph
 
@@ -438,6 +438,8 @@ def interval_reachable_set(
         return set(seed_list)
     if labels is None:
         labels = shared_labels(graph)
+    if kernels.active() == "numba":
+        return kernels.interval_ball(labels, seed_list, int(steps))
     return _interval_ball(labels, seed_list, int(steps))
 
 

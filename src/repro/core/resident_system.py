@@ -1,0 +1,148 @@
+"""The serving working set as a residency-exportable view.
+
+PR 5 taught the executor's resident registry to broadcast the *graph* into
+shared memory (:meth:`repro.graph.digraph.DiGraph.resident_export`); this
+module extends the protocol to the rest of the state the online phase
+repeatedly touches — the maintained linear system's rows, the solved
+diagonal, and the plan's node-to-shard assignment.  A
+:class:`ResidentSystem` is a thin immutable *view* over arrays owned by the
+walker/service; it exists so the identity-keyed registry
+(:meth:`repro.engine.executor.ExecutorBackend.ensure_resident`) has one
+object whose lifetime tracks the serving lineage:
+
+* the owner caches the view while the underlying ``system`` / ``diagonal``
+  / ``assignment`` objects stay the same, so steady-state scatters reuse
+  one registration;
+* any lineage event — ``add_edges`` splicing a new system, a ``with_plan``
+  migration clone, a rebalance flip, a snapshot restore — produces new
+  underlying objects, the owner builds a **new view**, and the registry
+  bumps the residency epoch exactly like a graph swap.
+
+Export layout: the diagonal is one float64 array, the system is its three
+CSR buffers (``data``, ``indices``, ``indptr``) plus the shape in the meta
+dict, the assignment is one integer array; each piece is optional (a
+cold-started service has a diagonal but no system yet).  Restoration is
+zero-copy: the worker-side :meth:`ResidentSystem.resident_restore` wraps
+the shared-memory views in a ``scipy.sparse.csr_matrix`` without copying,
+so every per-task payload that used to carry index rows, diagonals or
+score slices shrinks to a handle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+
+class ResidentSystem:
+    """Immutable residency view over the maintained system + diagonal.
+
+    Parameters
+    ----------
+    diagonal:
+        The solved correction diagonal (``DiagonalIndex.diagonal``), or
+        None when the view only carries build-side state.
+    system:
+        The maintained linear system (``IncrementalCloudWalker.system``)
+        as a CSR matrix, or None when the service serves a pre-built index
+        without update state.
+    assignment:
+        The plan's per-node shard assignment (``ShardPlan.assign``), or
+        None.  Shipped with the system so migration slice tasks need only
+        a handle plus a shard id.
+    """
+
+    __slots__ = ("diagonal", "system", "assignment")
+
+    def __init__(
+        self,
+        diagonal: Optional[np.ndarray] = None,
+        system: Optional[sparse.csr_matrix] = None,
+        assignment: Optional[np.ndarray] = None,
+    ) -> None:
+        self.diagonal = diagonal
+        self.system = system
+        self.assignment = assignment
+
+    # ------------------------------------------------------------------ #
+    # Residency protocol (mirrors DiGraph.resident_export/resident_restore)
+    # ------------------------------------------------------------------ #
+    def resident_export(self) -> Tuple[Dict[str, Any], List[np.ndarray]]:
+        """Export as ``(meta, arrays)`` for shared-memory residency.
+
+        Array order is fixed — diagonal, then the system's CSR buffers,
+        then the assignment — with presence flags (and the system shape)
+        in the meta dict, so :meth:`resident_restore` can slot the
+        worker-side views back without ambiguity.
+        """
+        meta: Dict[str, Any] = {
+            "has_diagonal": self.diagonal is not None,
+            "system_shape": (tuple(int(d) for d in self.system.shape)
+                             if self.system is not None else None),
+            "has_assignment": self.assignment is not None,
+        }
+        arrays: List[np.ndarray] = []
+        if self.diagonal is not None:
+            arrays.append(self.diagonal)
+        if self.system is not None:
+            arrays.extend([self.system.data, self.system.indices,
+                           self.system.indptr])
+        if self.assignment is not None:
+            arrays.append(self.assignment)
+        return meta, arrays
+
+    @classmethod
+    def resident_restore(cls, meta: Dict[str, Any],
+                         arrays: List[np.ndarray]) -> "ResidentSystem":
+        """Rebuild the view around exported buffers **without copying**.
+
+        The CSR matrix is constructed directly from the shared-memory
+        views (``(data, indices, indptr)`` adoption, no canonicalisation
+        pass), so the restored system is byte-for-byte the exporter's —
+        the property every bitwise-identity gate downstream rests on.
+        """
+        cursor = 0
+        diagonal: Optional[np.ndarray] = None
+        system: Optional[sparse.csr_matrix] = None
+        assignment: Optional[np.ndarray] = None
+        if meta["has_diagonal"]:
+            diagonal = arrays[cursor]
+            cursor += 1
+        if meta["system_shape"] is not None:
+            data, indices, indptr = arrays[cursor:cursor + 3]
+            cursor += 3
+            system = sparse.csr_matrix(
+                (data, indices, indptr), shape=meta["system_shape"], copy=False
+            )
+        if meta["has_assignment"]:
+            assignment = arrays[cursor]
+        return cls(diagonal=diagonal, system=system, assignment=assignment)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def memory_bytes(self) -> int:
+        """Footprint of the exported arrays — one copy per *pool*, not per
+        worker: process workers map the single shared segment."""
+        total = 0
+        if self.diagonal is not None:
+            total += int(self.diagonal.nbytes)
+        if self.system is not None:
+            total += int(self.system.data.nbytes
+                         + self.system.indices.nbytes
+                         + self.system.indptr.nbytes)
+        if self.assignment is not None:
+            total += int(self.assignment.nbytes)
+        return total
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.diagonal is not None:
+            parts.append(f"diagonal[{len(self.diagonal)}]")
+        if self.system is not None:
+            parts.append(f"system{self.system.shape}")
+        if self.assignment is not None:
+            parts.append(f"assignment[{len(self.assignment)}]")
+        return f"ResidentSystem({', '.join(parts) or 'empty'})"

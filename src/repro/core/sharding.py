@@ -51,6 +51,7 @@ from repro.config import ShardingParams, SimRankParams
 from repro.core import linear_system
 from repro.core.incremental import IncrementalCloudWalker
 from repro.core.index import DiagonalIndex
+from repro.core.resident_system import ResidentSystem
 from repro.engine.executor import (
     ExecutorBackend,
     ResidentHandle,
@@ -172,6 +173,25 @@ def slice_shard_block(
     return block
 
 
+def slice_shard_block_resident(
+    handle: ResidentHandle, shard: int
+) -> sparse.csr_matrix:
+    """:func:`slice_shard_block` against a pool-resident system view.
+
+    The migration path's zero-copy twin: the task ships only a
+    :class:`~repro.engine.executor.ResidentHandle` plus the shard id —
+    O(1) bytes — instead of re-pickling the full ``n x n`` system and an
+    ``n``-bool mask into every slice task.  The worker materialises the
+    :class:`~repro.core.resident_system.ResidentSystem` (system CSR +
+    plan assignment) once per residency epoch and computes the mask
+    locally.  Slicing is deterministic over byte-identical restored
+    arrays, so the blocks are bitwise-identical to the ship-per-task
+    path.
+    """
+    view: ResidentSystem = resolve_resident(handle)
+    return slice_shard_block(view.system, view.assignment == shard)
+
+
 class ShardedIncrementalWalker(IncrementalCloudWalker):
     """A :class:`~repro.core.incremental.IncrementalCloudWalker` whose row
     estimation fans out across shards.
@@ -246,6 +266,11 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         self.shard_build_seconds: Dict[int, float] = {}
         self.shard_slice_seconds: Dict[int, float] = {}
         self.last_touched_shards: frozenset = frozenset()
+        # Residency view over (system, assignment), rebuilt whenever the
+        # maintained system is a new object (add_edges splices a new CSR)
+        # — identity-keyed like every resident registration, so a stale
+        # view can never be re-registered after a lineage event.
+        self._system_view: Optional[ResidentSystem] = None
 
     @classmethod
     def from_params(
@@ -324,6 +349,30 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         clone.attach(self.index, system=self._system)
         return clone
 
+    def _system_residency_view(self) -> ResidentSystem:
+        """The maintained system + assignment as one residency view (cached).
+
+        The view object's identity is what keys the resident registry, so
+        it must change exactly when the underlying state does: a new
+        maintained system (``add_edges`` splices a new CSR, ``attach``
+        adopts one) or a new node count (the assignment covers every row)
+        invalidates the cache.  ``with_plan`` migration clones start with
+        no cached view at all — their first registration is a fresh epoch
+        on the shared backend, so workers can never slice under a retired
+        plan's assignment.
+        """
+        view = self._system_view
+        if (view is None or view.system is not self._system
+                or view.assignment.shape[0] != self._system.shape[0]):
+            n = self._system.shape[0]
+            view = ResidentSystem(
+                diagonal=self.index.diagonal if self.index is not None else None,
+                system=self._system,
+                assignment=self.plan.assign(n),
+            )
+            self._system_view = view
+        return view
+
     def shard_systems(
         self, backend: Optional[ExecutorBackend] = None
     ) -> List[sparse.csr_matrix]:
@@ -340,10 +389,28 @@ class ShardedIncrementalWalker(IncrementalCloudWalker):
         :attr:`shard_slice_seconds`); without one they run serially
         in-process.  The blocks are identical either way — slicing is
         deterministic and shards are independent.
+
+        With ``resident=True`` (the default) the fan-out registers the
+        maintained system plus the plan assignment as one pool-resident
+        :class:`~repro.core.resident_system.ResidentSystem` and each task
+        ships only ``(handle, shard)`` (:func:`slice_shard_block_resident`)
+        instead of re-pickling the full system per shard.
         """
         if self._system is None:
             raise ConfigurationError("call build() or attach() before shard_systems()")
         n = self._system.shape[0]
+        if backend is not None and self.resident:
+            handle = backend.ensure_resident("system",
+                                             self._system_residency_view())
+            tasks = {
+                shard: partial(slice_shard_block_resident, handle, shard)
+                for shard in range(self.plan.num_shards)
+            }
+            outcomes = run_shard_tasks(backend, tasks)
+            self.shard_slice_seconds = {
+                shard: seconds for shard, (_block, seconds) in outcomes.items()
+            }
+            return [outcomes[shard][0] for shard in range(self.plan.num_shards)]
         assignment = self.plan.assign(n)
         if backend is not None:
             tasks = {

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
 from functools import partial
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -72,13 +73,19 @@ from repro.config import (
     SimRankParams,
     UpdateParams,
 )
-from repro.core import montecarlo
+from repro.core import kernels, montecarlo
 from repro.core.index import (
     DiagonalIndex,
     ShardedIndex,
     ShardedSnapshotStore,
 )
-from repro.core.queries import QueryEngine, merge_top_k, rank_top_k_entries
+from repro.core.queries import (
+    QueryEngine,
+    merge_top_k,
+    propagate_scores,
+    rank_top_k_entries,
+)
+from repro.core.resident_system import ResidentSystem
 from repro.core.sharding import (
     ShardedIncrementalWalker,
     make_plan,
@@ -161,11 +168,102 @@ def _rank_shard_resident(
     the node count — epoch-stable, like the graph — so they ride the
     resident registry and each ranking task ships only the shard's score
     slice (``values = scores[owned]``, O(n / K) floats) plus a handle.
+    This is the in-process residency path (serial/thread serve backends:
+    the slice is a reference, not a copy); the process backend uses the
+    fully payload-free :func:`_rank_shard_payload_free` instead.
     """
     # `values` is this task's own gather (or its unpickled payload on the
     # processes backend), so the ranking may mask it in place.
     owned = resolve_resident(handle)[shard]
     return rank_top_k_entries(owned, values, source, k, copy=False)
+
+
+#: Per-worker caches behind :func:`_rank_shard_payload_free`, keyed by
+#: resident tokens so a residency epoch bump (live update, rebalance flip,
+#: broken-pool recovery) naturally invalidates them.  Module-level because
+#: ``DiGraph`` uses ``__slots__`` (nothing can be hung off the restored
+#: object) and process-pool workers are single-threaded.
+_WORKER_TRANSITIONS: "OrderedDict[str, Any]" = OrderedDict()
+_WORKER_TRANSITION_CAPACITY = 4
+_WORKER_SCORES: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+_WORKER_SCORE_CAPACITY = 128
+
+
+def _worker_transition_t(graph: DiGraph, token: str):
+    """``P^T`` (CSR) for a resident graph, cached per residency token."""
+    cached = _WORKER_TRANSITIONS.get(token)
+    if cached is not None:
+        _WORKER_TRANSITIONS.move_to_end(token)
+        return cached
+    transition_t = graph.transition_matrix().T.tocsr()
+    _WORKER_TRANSITIONS[token] = transition_t
+    while len(_WORKER_TRANSITIONS) > _WORKER_TRANSITION_CAPACITY:
+        _WORKER_TRANSITIONS.popitem(last=False)
+    return transition_t
+
+
+def _rank_shard_payload_free(
+    graph_handle: ResidentHandle,
+    system_handle: ResidentHandle,
+    nodes_handle: ResidentHandle,
+    shard: int,
+    source: int,
+    k: int,
+    params: SimRankParams,
+    walkers: int,
+) -> List[Tuple[int, float]]:
+    """One shard's top-k ranking with **no per-task data payload at all**.
+
+    The endgame of the zero-copy story: the task ships three resident
+    handles plus five scalars — O(1) bytes, independent of graph *and*
+    system size — instead of the shard's ``scores[owned]`` slice (O(n/K)
+    floats per task, i.e. the full score vector per batch across shards).
+    The worker reconstructs the score vector itself from state that is
+    already pool-resident:
+
+    1. the source's walk distributions are **re-simulated** from the
+       deterministic ``(seed, source)`` stream
+       (:func:`repro.core.montecarlo.estimate_walk_distributions_batch` —
+       the exact call the service's scatter uses), so they are
+       bitwise-identical to the parent's by construction, and nothing
+       needs shipping;
+    2. the scores run through the shared
+       :func:`repro.core.queries.propagate_scores` against the resident
+       graph's transition and the resident system view's diagonal — the
+       same code over byte-identical restored arrays as the parent's
+       :meth:`~repro.core.queries.QueryEngine.propagate_source`;
+    3. the shard ranks the owned slice exactly like every other path.
+
+    Steps 1–2 are cached per ``(graph epoch, system epoch, source,
+    walkers, params)`` in a per-worker LRU, so a batch's K ranking tasks
+    pay the propagation once per worker that sees the source — redundant
+    across workers, but payload (the thing this path eliminates) dominates
+    propagation at serving scale, and epoch-keyed tokens make staleness
+    impossible: any lineage event re-registers and the key changes.
+    """
+    graph = resolve_resident(graph_handle)
+    system: ResidentSystem = resolve_resident(system_handle)
+    owned = resolve_resident(nodes_handle)[shard]
+    score_key = (graph_handle.token, system_handle.token, source, walkers,
+                 params)
+    scores = _WORKER_SCORES.get(score_key)
+    if scores is None:
+        transition_t = _worker_transition_t(graph, graph_handle.token)
+        distributions = montecarlo.estimate_walk_distributions_batch(
+            graph, [source], params, walkers=walkers
+        )[source]
+        scores = propagate_scores(
+            source, distributions, transition_t, system.diagonal,
+            params.c, params.walk_steps,
+        )
+        _WORKER_SCORES[score_key] = scores
+        while len(_WORKER_SCORES) > _WORKER_SCORE_CAPACITY:
+            _WORKER_SCORES.popitem(last=False)
+    else:
+        _WORKER_SCORES.move_to_end(score_key)
+    # scores[owned] is a fresh fancy-index gather, so in-place masking
+    # (copy=False) can never scribble on the cached vector.
+    return rank_top_k_entries(owned, scores[owned], source, k, copy=False)
 
 
 class ShardedQueryService(QueryService):
@@ -296,6 +394,13 @@ class ShardedQueryService(QueryService):
         )
         self.last_scatter_seconds: Dict[int, float] = {}
         self.last_rank_seconds: Dict[int, float] = {}
+        # Per-batch scatter-payload accounting (satellite of the zero-copy
+        # story): the backend's cumulative pickled-task counter is sampled
+        # around each batch, so every run the batch scatters — simulation
+        # AND ranking — is counted, not just the last one.
+        self.last_batch_payload_bytes = 0
+        self._counters["scatter_payload_bytes"] = 0
+        self._batch_walkers: Optional[int] = None
 
     def _fresh_shard_state(self) -> None:
         """(Re)create the per-shard serving state for the current plan.
@@ -307,6 +412,10 @@ class ShardedQueryService(QueryService):
         *under this plan*), and the owned-node cache is dropped — the next
         batch builds a new owned-nodes list, which is a new object and
         therefore a new epoch in the serve backend's resident registry.
+        The resident system view is dropped for the same reason: a plan
+        flip changes nothing about the diagonal, but the registry is
+        identity-keyed, so a fresh view object is what bumps the system's
+        residency epoch in lockstep with the owned-nodes epoch.
         """
         self.shard_caches: List[WalkDistributionCache] = [
             WalkDistributionCache(self.service_params.cache_capacity)
@@ -319,6 +428,7 @@ class ShardedQueryService(QueryService):
         ]
         self._shard_nodes_cache: Optional[List[np.ndarray]] = None
         self._shard_nodes_n = -1
+        self._system_view: Optional[ResidentSystem] = None
 
     # ------------------------------------------------------------------ #
     # Cold start
@@ -468,6 +578,23 @@ class ShardedQueryService(QueryService):
             self._shard_nodes_n = self.graph.n_nodes
         return self._shard_nodes_cache
 
+    def _resident_system_view(self) -> ResidentSystem:
+        """The served system state as a residency view (cached by lineage).
+
+        Carries the solved diagonal — the only system-derived array the
+        payload-free ranking workers need.  The view object's identity
+        keys the serve backend's resident registry, so it is rebuilt
+        exactly on the epoch-bumping events: an adopted update swaps in a
+        new index (``view.diagonal is not self.index.diagonal``), and a
+        rebalance flip / snapshot restore goes through
+        :meth:`_fresh_shard_state`, which drops the cached view outright.
+        """
+        view = self._system_view
+        if view is None or view.diagonal is not self.index.diagonal:
+            view = ResidentSystem(diagonal=self.index.diagonal)
+            self._system_view = view
+        return view
+
     # ------------------------------------------------------------------ #
     # Lifecycle and concurrency
     # ------------------------------------------------------------------ #
@@ -523,8 +650,20 @@ class ShardedQueryService(QueryService):
             finally:
                 self._update_lock.release()
         with self._lock:
-            return super().run_batch(queries, walkers=walkers,
-                                     flush_pending=False)
+            # Sample the backend's cumulative pickled-task counter around
+            # the whole batch: a batch scatters several runs (one
+            # simulation fan-out plus one ranking fan-out per top-k
+            # query), and ``last_payload_bytes`` alone only ever shows the
+            # final run — which used to hide the ranking-scatter payloads
+            # from the zero-copy accounting entirely.
+            before = getattr(self._serve_backend, "total_payload_bytes", None)
+            answers = super().run_batch(queries, walkers=walkers,
+                                        flush_pending=False)
+            if before is not None:
+                delta = self._serve_backend.total_payload_bytes - before
+                self.last_batch_payload_bytes = delta
+                self._counters["scatter_payload_bytes"] += delta
+            return answers
 
     def flush_updates(self) -> Optional[MutationResult]:
         """Drain queued edge insertions as one re-index, thread-safely.
@@ -862,6 +1001,10 @@ class ShardedQueryService(QueryService):
         """
         walkers_count = (walkers if walkers is not None
                          else self.query_params.query_walkers)
+        # Stash for _answer's payload-free ranking tasks, which re-simulate
+        # the source at exactly this batch's Monte-Carlo budget.  Batches
+        # serialise under the serve lock, so the stash cannot be torn.
+        self._batch_walkers = walkers_count
         resolved: Dict[int, montecarlo.WalkDistributions] = {}
         missing_by_shard: Dict[int, List[int]] = {}
         for source in plan.sources:
@@ -935,32 +1078,62 @@ class ShardedQueryService(QueryService):
         """
         if isinstance(query, TopKQuery):
             self._counters["topk_queries"] += 1
-            scores = self.query_engine.propagate_source(
-                query.source, distributions[query.source]
-            )
             owned_nodes = self._shard_nodes()
-            capped_k = min(query.k, len(scores))
-            # Each task ships only its shard's gathered scores — O(n / K)
-            # per task instead of the full O(n) score vector K times over.
+            capped_k = min(query.k, self.graph.n_nodes)
             # With residency on, the owned-node id arrays (epoch-stable,
-            # like the graph) ride the resident registry too, so the ids
-            # are not re-shipped per query either.
+            # like the graph) ride the resident registry.  How much else
+            # ships depends on the backend kind the registry reports:
+            #
+            # * ``"shm"`` (process pool): the graph and the system view
+            #   (diagonal) are resident too, so each ranking task ships
+            #   three handles plus scalars — no score slice, no propagate
+            #   here in the parent; the worker rebuilds the scores from
+            #   resident state (see :func:`_rank_shard_payload_free`).
+            # * ``"local"`` (serial/threads): tasks run in this process,
+            #   so the parent propagates once and each task closes over a
+            #   score-slice *reference* — zero serialisation already, and
+            #   one propagation beats K redundant ones.
+            shm_resident = False
             if self.service_params.resident_graph:
                 nodes_handle = self._serve_backend.ensure_resident(
                     "shard_nodes", owned_nodes)
+                shm_resident = nodes_handle.kind == "shm"
+            if shm_resident:
+                graph_handle = self._serve_backend.ensure_resident(
+                    "graph", self.graph)
+                system_handle = self._serve_backend.ensure_resident(
+                    "system", self._resident_system_view())
+                walkers_count = (self._batch_walkers
+                                 if self._batch_walkers is not None
+                                 else self.query_params.query_walkers)
                 tasks = {
-                    shard: partial(_rank_shard_resident, nodes_handle, shard,
-                                   scores[owned_nodes[shard]], query.source,
-                                   capped_k)
+                    shard: partial(_rank_shard_payload_free, graph_handle,
+                                   system_handle, nodes_handle, shard,
+                                   query.source, capped_k,
+                                   self.query_params, walkers_count)
                     for shard in range(self.num_shards)
                 }
             else:
-                tasks = {
-                    shard: partial(rank_top_k_entries, owned_nodes[shard],
-                                   scores[owned_nodes[shard]], query.source,
-                                   capped_k, copy=False)
-                    for shard in range(self.num_shards)
-                }
+                # Each task ships (or references) only its shard's gathered
+                # scores — O(n / K) per task instead of the full O(n)
+                # score vector K times over.
+                scores = self.query_engine.propagate_source(
+                    query.source, distributions[query.source]
+                )
+                if self.service_params.resident_graph:
+                    tasks = {
+                        shard: partial(_rank_shard_resident, nodes_handle,
+                                       shard, scores[owned_nodes[shard]],
+                                       query.source, capped_k)
+                        for shard in range(self.num_shards)
+                    }
+                else:
+                    tasks = {
+                        shard: partial(rank_top_k_entries, owned_nodes[shard],
+                                       scores[owned_nodes[shard]],
+                                       query.source, capped_k, copy=False)
+                        for shard in range(self.num_shards)
+                    }
             outcomes = run_shard_tasks(self._serve_backend, tasks)
             for shard in range(self.num_shards):
                 seconds = outcomes[shard][1]
@@ -1014,6 +1187,8 @@ class ShardedQueryService(QueryService):
             "accuracy_budget": self.service_params.accuracy_budget,
             "query_walkers_served": self.query_params.query_walkers,
             "walk_steps_served": self.query_params.walk_steps,
+            "kernels_requested": kernels.requested(),
+            "kernels_active": kernels.active(),
             "num_shards": self.num_shards,
             "shard_strategy": self.plan.strategy,
             "plan_generation": self._plan_generation,
@@ -1035,7 +1210,15 @@ class ShardedQueryService(QueryService):
             "cache_invalidations": sum(
                 cache.stats.invalidations for cache in self.shard_caches
             ),
+            # Cumulative update-routed evictions (invalidate_sources /
+            # invalidate_reachable), summed across shards — the figure to
+            # correlate with update storms, distinct from capacity
+            # "cache_evictions".
+            "cache_evictions_routed": sum(
+                cache.stats.invalidations for cache in self.shard_caches
+            ),
             "cache_hit_rate": hits / lookups if lookups else 0.0,
+            "last_batch_payload_bytes": self.last_batch_payload_bytes,
             "shards": shard_rows,
         }
 

@@ -39,6 +39,27 @@ def _full_results(directory):
     _write(directory, "rebalance",
            {"p99_improvement": 2.8, "rebalance_applied": True,
             "all_identical": True})
+    _write(directory, "scatter_backends",
+           {"min_speedup_at_4": 2.7,
+            "speedup_at_4": {"threads": 2.7, "processes": 3.0},
+            "gate_passed": True, "all_identical": True,
+            "kernels": {"numba_available": False,
+                        "bitwise_identical": True,
+                        "combine_pair_speedup": None},
+            "rows": [
+                {"backend": "serial", "workers": 0,
+                 "payload_bytes_per_task": 0,
+                 "critical_path_seconds": 0.8, "speedup": 1.0,
+                 "bitwise_identical": True},
+                {"backend": "threads", "workers": 4,
+                 "payload_bytes_per_task": 0,
+                 "critical_path_seconds": 0.3, "speedup": 2.7,
+                 "bitwise_identical": True},
+                {"backend": "processes", "workers": 4,
+                 "payload_bytes_per_task": 2048,
+                 "critical_path_seconds": 0.27, "speedup": 3.0,
+                 "bitwise_identical": True},
+            ]})
     _write(directory, "scenarios",
            {"approx_p99_improvement": 2.4, "approx_within_budget": True,
             "gate_passed": True, "all_identical": True,
@@ -92,6 +113,37 @@ def test_scenario_trajectory_table_is_embedded(tmp_path):
     for row in rows:
         assert row["answer_checksum"]
         assert row["p99_latency_seconds"] is not None
+
+
+def test_scatter_backend_sweep_is_embedded(tmp_path):
+    """The summary carries the full thread-vs-process worker sweep — per
+    configuration payload + critical-path columns, not just the headline
+    speedup — so the multi-core trajectory is diffable across PRs."""
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    rows = summary["scatter_backend_sweep"]
+    assert len(rows) == 3
+    configs = {(row["backend"], row["workers"]) for row in rows}
+    assert configs == {("serial", 0), ("threads", 4), ("processes", 4)}
+    for row in rows:
+        assert row["payload_bytes_per_task"] is not None
+        assert row["critical_path_seconds"] is not None
+        assert row["bitwise_identical"] is True
+
+
+def test_scatter_backend_sweep_tolerates_a_missing_file(tmp_path):
+    results = tmp_path / "results"
+    results.mkdir()
+    _full_results(results)
+    (results / "scatter_backends.json").unlink()
+    summary = run_all.consolidate_serving(results,
+                                          tmp_path / "BENCH_serving.json")
+    assert summary["scatter_backend_sweep"] == []
+    assert summary["benchmarks"]["scatter_backends"]["status"] == "missing"
+    assert summary["all_gates_passed"] is False
 
 
 def test_scenario_trajectory_tolerates_a_missing_file(tmp_path):

@@ -1,0 +1,201 @@
+"""Kernel tier: bitwise identity with the Python oracles, flag semantics.
+
+The optional jitted twins in :mod:`repro.core.kernels` may only ever change
+*speed*: their contract is bitwise identity with
+:func:`repro.core.montecarlo.combine_pair_distributions`,
+:func:`repro.core.montecarlo.self_meeting_column` and the interval
+reachability ball.  These tests pin that contract on the kernel *source*
+(which runs unjitted when numba is absent — the supported degraded path),
+plus the mode flag's request/active semantics and its dispatch through the
+real entry points.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ServiceParams, SimRankParams
+from repro.core import kernels, montecarlo, reachability
+from repro.errors import ConfigurationError
+from repro.graph import generators
+
+
+@pytest.fixture()
+def graph():
+    return generators.erdos_renyi_graph(150, 800, seed=13)
+
+
+@pytest.fixture()
+def params():
+    return SimRankParams(c=0.6, walk_steps=5, jacobi_iterations=2,
+                         index_walkers=15, query_walkers=50, seed=13)
+
+
+@pytest.fixture()
+def distributions(graph, params):
+    sources = list(range(0, graph.n_nodes, 4))
+    return montecarlo.estimate_walk_distributions_batch(
+        graph, sources, params, walkers=120)
+
+
+@pytest.fixture()
+def restore_mode():
+    """Leave the process-global kernel flag exactly as we found it."""
+    before = kernels.requested()
+    yield
+    kernels.request(before)
+
+
+class TestPairwiseSum:
+    @pytest.mark.parametrize("n", [0, 1, 5, 7, 8, 9, 64, 127, 128, 129,
+                                   200, 1000, 4097])
+    def test_matches_numpy_sum_bitwise(self, n):
+        rng = np.random.default_rng(n)
+        values = rng.standard_normal(n + 3)
+        # Offset by 3: the oracle sums a slice, so the replica must too.
+        expected = values[3:3 + n].sum()
+        assert kernels._pairwise_sum(values, 3, n) == expected
+
+    def test_adversarial_magnitudes(self):
+        rng = np.random.default_rng(99)
+        values = rng.standard_normal(513) * np.logspace(-12, 12, 513)
+        assert kernels._pairwise_sum(values, 0, len(values)) == values.sum()
+
+
+class TestCombinePairIdentity:
+    def test_matches_oracle_bitwise(self, graph, params, distributions):
+        weights = np.linspace(0.3, 1.7, graph.n_nodes)
+        sources = sorted(distributions)
+        for a, b in zip(sources[0::2], sources[1::2]):
+            oracle = montecarlo.combine_pair_distributions(
+                distributions[a], distributions[b], weights,
+                params.c, params.walk_steps)
+            twin = kernels.combine_pair(
+                distributions[a], distributions[b], weights,
+                params.c, params.walk_steps)
+            assert twin == oracle  # float equality, not approx
+
+    def test_dispatch_through_oracle_entry_point(self, graph, params,
+                                                 distributions,
+                                                 restore_mode):
+        """`combine_pair_distributions` answers identically in both modes
+        (on a numba-less interpreter "numba" falls back but the dispatch
+        line still runs)."""
+        weights = np.linspace(0.3, 1.7, graph.n_nodes)
+        a, b = sorted(distributions)[:2]
+        kernels.request("python")
+        python_value = montecarlo.combine_pair_distributions(
+            distributions[a], distributions[b], weights,
+            params.c, params.walk_steps)
+        kernels.request("numba")
+        numba_value = montecarlo.combine_pair_distributions(
+            distributions[a], distributions[b], weights,
+            params.c, params.walk_steps)
+        assert numba_value == python_value
+
+
+class TestSelfMeetingIdentity:
+    def test_matches_oracle_bitwise(self, params, distributions):
+        for source in sorted(distributions):
+            oracle = montecarlo.self_meeting_column(
+                distributions[source], params.c)
+            twin = kernels.self_meeting(distributions[source], params.c)
+            assert twin.keys() == oracle.keys()
+            for node in oracle:
+                assert twin[node] == oracle[node]
+
+    def test_dispatch_through_oracle_entry_point(self, params, distributions,
+                                                 restore_mode):
+        source = sorted(distributions)[0]
+        kernels.request("python")
+        python_column = montecarlo.self_meeting_column(
+            distributions[source], params.c)
+        kernels.request("numba")
+        numba_column = montecarlo.self_meeting_column(
+            distributions[source], params.c)
+        assert numba_column == python_column
+
+
+class TestIntervalBallIdentity:
+    @pytest.mark.parametrize("steps", [0, 1, 2, 4, 8])
+    def test_matches_interval_and_bfs_oracles(self, graph, steps):
+        labels = reachability.shared_labels(graph)
+        for seed_node in range(0, graph.n_nodes, 11):
+            twin = kernels.interval_ball(labels, [seed_node], steps)
+            assert twin == reachability.reachable_set(
+                graph, [seed_node], steps, mode="interval")
+            assert twin == reachability.reachable_set(
+                graph, [seed_node], steps, mode="bfs")
+
+    def test_multi_seed_ball(self, graph):
+        labels = reachability.shared_labels(graph)
+        seeds = [0, 17, 42]
+        assert kernels.interval_ball(labels, seeds, 3) == \
+            reachability.reachable_set(graph, seeds, 3, mode="bfs")
+
+    def test_dispatch_through_reachable_set(self, graph, restore_mode):
+        kernels.request("numba")
+        assert reachability.reachable_set(graph, [5], 4, mode="interval") == \
+            reachability.reachable_set(graph, [5], 4, mode="bfs")
+
+
+class TestModeFlag:
+    def test_request_records_intent_and_falls_back(self, restore_mode):
+        outcome = kernels.request("numba")
+        assert kernels.requested() == "numba"
+        if kernels.NUMBA_AVAILABLE:
+            assert outcome == "numba" and kernels.active() == "numba"
+        else:
+            assert outcome == "python" and kernels.active() == "python"
+
+    def test_python_mode_is_always_active(self, restore_mode):
+        assert kernels.request("python") == "python"
+        assert kernels.active() == "python"
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            kernels.request("cython")
+
+    def test_service_params_validates_kernels(self):
+        assert ServiceParams(kernels="numba").kernels == "numba"
+        with pytest.raises(ConfigurationError):
+            ServiceParams(kernels="fortran")
+
+    def test_service_requests_mode_at_construction(self, restore_mode):
+        from repro.service import QueryService
+
+        graph = generators.copying_model_graph(40, out_degree=3, seed=5)
+        params = SimRankParams(c=0.6, walk_steps=3, jacobi_iterations=2,
+                               index_walkers=10, query_walkers=20, seed=5)
+        service = QueryService.build(
+            graph, params,
+            service_params=ServiceParams(cache_capacity=0, kernels="numba"))
+        stats = service.stats()
+        assert stats["kernels_requested"] == "numba"
+        assert stats["kernels_active"] == (
+            "numba" if kernels.NUMBA_AVAILABLE else "python")
+
+
+@pytest.mark.skipif(not kernels.NUMBA_AVAILABLE,
+                    reason="numba not importable: jitted tier cannot run")
+class TestJittedTier:
+    def test_jitted_twins_still_bitwise_identical(self, graph, params,
+                                                  distributions,
+                                                  restore_mode):
+        """When numba IS present the compiled code paths (not just the
+        Python source) must hold the identity contract."""
+        kernels.request("python")  # oracle side must not dispatch
+        weights = np.linspace(0.3, 1.7, graph.n_nodes)
+        sources = sorted(distributions)
+        for a, b in zip(sources[0::2], sources[1::2]):
+            oracle = montecarlo.combine_pair_distributions(
+                distributions[a], distributions[b], weights,
+                params.c, params.walk_steps)
+            assert kernels.combine_pair(
+                distributions[a], distributions[b], weights,
+                params.c, params.walk_steps) == oracle
+        source = sources[0]
+        assert kernels.self_meeting(distributions[source], params.c) == \
+            montecarlo.self_meeting_column(distributions[source], params.c)
+        labels = reachability.shared_labels(graph)
+        assert kernels.interval_ball(labels, [3], 4) == \
+            reachability.reachable_set(graph, [3], 4, mode="bfs")

@@ -144,6 +144,164 @@ class TestScatterPayloadIndependentOfGraphSize:
                 assert np.array_equal(left, right)
 
 
+def _answers_equal(left, right):
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, (float, list)):
+            if a != b:
+                return False
+        elif not np.array_equal(a, b):
+            return False
+    return True
+
+
+def _build_service(graph, resident, num_shards=NUM_SHARDS):
+    """A ``.build`` service (owns update state) on an inline process pool."""
+    service = ShardedQueryService.build(
+        graph, _params(),
+        service_params=ServiceParams(cache_capacity=0,
+                                     resident_graph=resident),
+        sharding=ShardingParams(num_shards=num_shards,
+                                resident_graph=resident),
+    )
+    service._serve_backend = InlineProcessBackend(max_workers=1)
+    return service
+
+
+def _mixed_queries(count, topk=4):
+    return _pair_queries(count) + [TopKQuery(i, k=6) for i in range(topk)]
+
+
+class TestResidentSystemLifecycle:
+    """Epoch lockstep of the resident system/owned-node views (satellite).
+
+    The payload-free ranking path is only safe if every lineage event —
+    an applied ``add_edges``, a rebalance plan flip, a snapshot restore —
+    re-registers the system view and the owned-node arrays under a fresh
+    epoch.  These tests pin the token bumps through the *real* service
+    entry points, with the real shared-memory export (inline execution).
+    """
+
+    def test_add_edges_bumps_system_epoch(self):
+        graph = generators.copying_model_graph(300, out_degree=5, seed=7)
+        with _build_service(graph, resident=True) as service:
+            before = service.run_batch(_mixed_queries(8))
+            first = service._serve_backend.resident_handle("system")
+            assert first is not None and first.kind == "shm"
+            service.add_edges([(0, 150), (3, 290)])
+            after = service.run_batch(_mixed_queries(8))
+            second = service._serve_backend.resident_handle("system")
+            assert second.token != first.token, (
+                "an adopted update must re-register the system view"
+            )
+            assert len(before) == len(after)
+
+    def test_rebalance_flip_bumps_system_and_nodes_epochs(self):
+        from repro.graph.partition import ShardPlan
+
+        graph = generators.copying_model_graph(300, out_degree=5, seed=7)
+        with _build_service(graph, resident=True) as service:
+            service.run_batch(_mixed_queries(8))
+            system_before = service._serve_backend.resident_handle("system")
+            nodes_before = service._serve_backend.resident_handle("shard_nodes")
+            assert system_before is not None and nodes_before is not None
+            outcome = service.rebalance(
+                plan=ShardPlan.contiguous(NUM_SHARDS, graph.n_nodes),
+                force=True,
+            )
+            assert outcome["applied"]
+            service.run_batch(_mixed_queries(8))
+            system_after = service._serve_backend.resident_handle("system")
+            nodes_after = service._serve_backend.resident_handle("shard_nodes")
+            assert system_after.token != system_before.token
+            assert nodes_after.token != nodes_before.token, (
+                "a plan flip must re-register the owned-node arrays"
+            )
+
+    def test_snapshot_restore_serves_from_fresh_registration(self, tmp_path):
+        graph = generators.copying_model_graph(300, out_degree=5, seed=7)
+        queries = _mixed_queries(8)
+        with _build_service(graph, resident=True) as service:
+            reference = service.run_batch(queries)
+            service.save_snapshot(tmp_path)
+        restored = ShardedQueryService.from_snapshot(
+            graph, tmp_path,
+            service_params=ServiceParams(cache_capacity=0,
+                                         resident_graph=True),
+        )
+        restored._serve_backend = InlineProcessBackend(max_workers=1)
+        with restored:
+            answers = restored.run_batch(queries)
+            handle = restored._serve_backend.resident_handle("system")
+            assert handle is not None and handle.kind == "shm", (
+                "a restored lineage must register a fresh system view"
+            )
+        assert _answers_equal(reference, answers)
+
+    def test_payload_free_identity_across_updates_and_migration(self):
+        """Bitwise identity vs ship-per-task, before/after live updates
+        and across a forced rebalance migration (acceptance gate)."""
+        from repro.graph.partition import ShardPlan
+
+        graph = generators.copying_model_graph(300, out_degree=5, seed=7)
+        queries = _mixed_queries(10)
+        edges = [(0, 150), (3, 290), (290, 7)]
+        plan = ShardPlan.contiguous(NUM_SHARDS, graph.n_nodes)
+
+        single = QueryService.build(graph, _params(),
+                                    service_params=ServiceParams(
+                                        cache_capacity=0))
+        before_reference = single.run_batch(queries)
+        single.add_edges(edges)
+        after_reference = single.run_batch(queries)
+
+        for resident in (True, False):
+            with _build_service(graph, resident=resident) as service:
+                assert _answers_equal(before_reference,
+                                      service.run_batch(queries))
+                service.add_edges(edges)
+                assert _answers_equal(after_reference,
+                                      service.run_batch(queries))
+                assert service.rebalance(plan=plan, force=True)["applied"]
+                assert _answers_equal(after_reference,
+                                      service.run_batch(queries)), (
+                    f"resident={resident} diverged after a plan migration"
+                )
+
+    def test_system_payload_independent_of_system_size(self):
+        """Per-batch scatter bytes stay O(sources) when the service owns a
+        full maintained system (not just a pre-built index)."""
+        queries = _mixed_queries(8)
+        small = generators.copying_model_graph(300, out_degree=5, seed=7)
+        large = generators.copying_model_graph(3000, out_degree=5, seed=7)
+        with _build_service(small, resident=True) as service:
+            small_bytes = _batch_scatter_bytes(service, queries)
+        with _build_service(large, resident=True) as service:
+            large_bytes = _batch_scatter_bytes(service, queries)
+        assert large_bytes <= small_bytes * 1.25, (
+            f"scatter payload grew with the maintained system: "
+            f"{small_bytes}B at n=300 vs {large_bytes}B at n=3000"
+        )
+
+    def test_topk_payload_carries_no_score_slices(self):
+        """The satellite accounting fix made ranking payloads visible:
+        with residency on, a top-k heavy batch must not ship per-shard
+        score slices (O(n/K) floats each) — only handles + scalars."""
+        graph = generators.copying_model_graph(2000, out_degree=5, seed=7)
+        topk_queries = [TopKQuery(i, k=8) for i in range(6)]
+        with _service(graph, resident=True) as service:
+            resident_bytes = _batch_scatter_bytes(service, topk_queries)
+            assert service.last_batch_payload_bytes == resident_bytes
+            assert service.stats()["scatter_payload_bytes"] >= resident_bytes
+        with _service(graph, resident=False) as service:
+            shipped_bytes = _batch_scatter_bytes(service, topk_queries)
+        # Score slices alone are ~ 8 bytes x n/K x shards x queries; the
+        # payload-free path ships none of them.
+        assert resident_bytes * 4 < shipped_bytes
+        assert resident_bytes < 96 * 1024
+
+
 class TestCloseReleasesSharedMemory:
     def _segment_exists(self, name):
         try:
@@ -167,6 +325,30 @@ class TestCloseReleasesSharedMemory:
         service.close()
         assert not self._segment_exists(handle.shm_name)
         service.close()  # idempotent
+
+    def test_close_unlinks_system_and_nodes_segments(self):
+        """The full working set — graph, system view, owned-node arrays —
+        is released on close, including after the pool broke."""
+        graph = generators.copying_model_graph(300, out_degree=5, seed=3)
+        service = ShardedQueryService(
+            graph, _build_index(graph), _params(),
+            ServiceParams(cache_capacity=0, serve_backend="processes",
+                          serve_workers=1),
+            sharding=ShardingParams(num_shards=2),
+        )
+        service.run_batch(_pair_queries(4) + [TopKQuery(1, k=5)])
+        handles = {key: service._serve_backend.resident_handle(key)
+                   for key in ("graph", "system", "shard_nodes")}
+        for key, handle in handles.items():
+            assert handle is not None, f"{key} must be resident after a batch"
+            assert self._segment_exists(handle.shm_name)
+        with pytest.raises(BrokenExecutor):
+            service._serve_backend.run([_die_hard])
+        for key, handle in handles.items():
+            assert not self._segment_exists(handle.shm_name), (
+                f"broken-pool recovery leaked the {key} segment"
+            )
+        service.close()  # must stay a no-op for already-released segments
 
     def test_close_releases_segments_after_pool_breaks(self):
         """The satellite guarantee: a broken pool cannot leak segments.
